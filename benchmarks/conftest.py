@@ -1,0 +1,143 @@
+"""Shared fixtures for the benchmark harness.
+
+One full-scale campaign (all three operators, all eleven areas) is
+simulated once per benchmark session and shared by every table/figure
+benchmark; the per-figure benchmarks then time the *analysis* that
+regenerates their table or figure and print the reproduced series next
+to the paper's reference values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import (
+    CampaignConfig,
+    CampaignRunner,
+    OPERATORS,
+    build_deployment,
+    device,
+    operator,
+)
+from repro.campaign.locations import sparse_locations
+from repro.campaign.runner import run_once
+
+# Scale of the benchmark campaign.  The paper ran 25 locations x 10+ runs
+# in A1 and 5-10 locations x 5+ runs elsewhere; we run a comparable but
+# slightly lighter grid so the full harness completes in a few minutes.
+CAMPAIGN_CONFIG = CampaignConfig(
+    a1_locations=25,
+    a1_runs_per_location=6,
+    locations_per_area=6,
+    runs_per_location=5,
+    duration_s=300,
+)
+
+AREA_SIZES_KM2 = {
+    spec.name: spec.size_km2
+    for profile in OPERATORS.values()
+    for spec in profile.areas
+}
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    """The full three-operator campaign (simulated once per session)."""
+    runner = CampaignRunner(list(OPERATORS.values()), CAMPAIGN_CONFIG)
+    return runner.run()
+
+
+@pytest.fixture(scope="session")
+def device_matrix():
+    """Figure 12 campaign: every phone model at 4 locations per operator."""
+    from repro.campaign.dataset import CampaignResult
+    from repro.campaign.devices import DEVICES
+
+    results: dict[str, dict[str, CampaignResult]] = {}
+    for op_name, profile in OPERATORS.items():
+        spec = profile.areas[0]
+        deployment = build_deployment(profile, spec.name)
+        points = sparse_locations(spec.area, 4, seed=11)
+        results[op_name] = {}
+        for device_name in DEVICES:
+            phone = device(device_name)
+            result = CampaignResult()
+            for index, point in enumerate(points):
+                for run_index in range(3):
+                    result.add(run_once(deployment, profile, phone, point,
+                                        f"{spec.name}-D{index + 1}", run_index,
+                                        duration_s=300))
+            results[op_name][device_name] = result
+    return results
+
+
+@pytest.fixture(scope="session")
+def dense_study():
+    """Section 6 study: dense ground truth around an S1E3 anchor + features.
+
+    Returns (deployment, anchor_point, dense_points, feature_sets,
+    observed_probabilities, fitted_model).
+    """
+    from repro.campaign.locations import dense_grid_locations
+    from repro.campaign.operators import OP_T_PROBLEM_CHANNEL
+    from repro.campaign.runner import loop_probability_at
+    from repro.core.prediction import extract_location_features, fit_s1e3_model
+
+    profile = operator("OP_T")
+    deployment = build_deployment(profile, "A1")
+    phone = device("OnePlus 12R")
+    area = profile.areas[0].area
+
+    anchor = None
+    for index, point in enumerate(sparse_locations(area, 40, seed=7)):
+        result = run_once(deployment, profile, phone, point, f"S{index}", 0,
+                          duration_s=300)
+        if result.has_loop and result.analysis.subtype.value == "S1E3":
+            anchor = point
+            break
+    assert anchor is not None, "no S1E3 anchor found"
+
+    dense_points = dense_grid_locations(anchor, area, half_extent_m=180.0,
+                                        spacing_m=60.0)
+    # The paper runs fine-grained studies around *several* loop
+    # instances; a training set from a single dense region would be
+    # biased toward loop-prone radio contexts, so scattered locations
+    # across the area are added to the training pool.
+    training_points = dense_points + sparse_locations(area, 12, seed=55)
+    feature_sets, observed = [], []
+    for index, point in enumerate(training_points):
+        observed.append(loop_probability_at(
+            deployment, profile, phone, point, f"D{index}", n_runs=5,
+            duration_s=240, subtype_value="S1E3"))
+        feature_sets.append(extract_location_features(
+            deployment.environment, profile.policy, phone, point,
+            OP_T_PROBLEM_CHANNEL))
+    model = fit_s1e3_model(feature_sets, observed)
+    return deployment, anchor, dense_points, feature_sets, observed, model
+
+
+@pytest.fixture(scope="session")
+def op_t_showcase():
+    """A persistent S1E3 loop run with its full trace (Figures 1-3)."""
+    profile = operator("OP_T")
+    deployment = build_deployment(profile, "A1")
+    phone = device("OnePlus 12R")
+    best = None
+    for index, point in enumerate(sparse_locations(profile.areas[0].area, 40,
+                                                   seed=7)):
+        result = run_once(deployment, profile, phone, point, f"P{index + 1}",
+                          run_index=0, duration_s=420, keep_trace=True)
+        if result.has_loop and result.analysis.subtype.value == "S1E3":
+            if result.analysis.detection.kind.value == "II-P":
+                return result
+            best = best or result
+    if best is None:
+        raise RuntimeError("no S1E3 showcase found at benchmark scale")
+    return best

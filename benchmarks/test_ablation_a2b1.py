@@ -1,0 +1,50 @@
+"""Ablation (F12): re-enabling the legacy A2-B1 misconfiguration.
+
+The paper reports that the A2-B1 loop of prior work [37] is gone — the
+operators corrected the thresholds.  Our operator profiles therefore
+ship with consistent thresholds; this ablation reverts OP_A to an
+uncoordinated pair (theta_B1 < theta_A2) and shows the prior-work loop
+reappear, confirming that its absence in the main campaign is a policy
+property, not a simulator limitation.
+"""
+
+import copy
+
+from repro.campaign import CampaignConfig, CampaignRunner, operator
+from repro.core.classify import LoopSubtype
+from benchmarks.conftest import print_header
+
+ABLATION_CONFIG = CampaignConfig(locations_per_area=6, runs_per_location=4,
+                                 duration_s=300, area_names=["A6"])
+
+
+def _run_with(policy_tweaks):
+    profile = copy.deepcopy(operator("OP_A"))
+    for key, value in policy_tweaks.items():
+        setattr(profile.policy, key, value)
+    return CampaignRunner([profile], ABLATION_CONFIG).run()
+
+
+def test_ablation_legacy_a2b1(benchmark):
+    def run_both():
+        baseline = _run_with({})
+        legacy = _run_with({"legacy_a2b1": True,
+                            "legacy_a2_threshold_dbm": -100.0,
+                            "nsa_b1_threshold_dbm": -108.0})
+        return baseline, legacy
+
+    baseline, legacy = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    baseline_share = baseline.subtype_breakdown().get(LoopSubtype.N2_A2B1, 0.0)
+    legacy_share = legacy.subtype_breakdown().get(LoopSubtype.N2_A2B1, 0.0)
+    legacy_runs = sum(1 for run in legacy.runs if run.has_loop
+                      and run.analysis.subtype is LoopSubtype.N2_A2B1)
+
+    print_header("Ablation — legacy A2-B1 thresholds (F12)")
+    print(f"current policy:  A2-B1 loops in {baseline_share:.0%} of loop runs "
+          f"(paper: not observed)")
+    print(f"legacy policy:   A2-B1 loops in {legacy_share:.0%} of loop runs "
+          f"({legacy_runs} runs) — the prior-work loop returns")
+
+    assert baseline_share == 0.0
+    assert legacy_runs > 0

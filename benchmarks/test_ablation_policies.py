@@ -1,0 +1,72 @@
+"""Ablations of the root-cause policies (section 7's "remedies").
+
+Each ablation removes exactly one of the paper's identified causes and
+re-runs a one-area campaign, demonstrating that the loops disappear:
+
+* OP_T without the downlink-only n25 SCell configuration (i.e. every
+  device gets the V17-style full configuration) -> S1 loops vanish;
+* OP_A with the 5815 channel allowed to keep an SCG (no redirect) ->
+  the N2E1 ping-pong vanishes.
+"""
+
+import copy
+import dataclasses
+
+from repro.campaign import CampaignConfig, CampaignRunner, operator
+from repro.cells.cell import Rat
+from repro.rrc.policies import ChannelPolicy
+from benchmarks.conftest import print_header
+
+
+def test_ablation_fix_op_t_scell_config(benchmark):
+    config = CampaignConfig(area_names=["A1"], a1_locations=10,
+                            a1_runs_per_location=4, duration_s=300)
+
+    def run_both():
+        baseline = CampaignRunner([operator("OP_T")], config).run()
+        fixed_profile = copy.deepcopy(operator("OP_T"))
+        for channel in (387410, 398410):
+            fixed_profile.policy.channel_policies[channel] = ChannelPolicy(
+                channel, Rat.NR, downlink_only_scell_config=False)
+        fixed = CampaignRunner([fixed_profile], config).run()
+        return baseline, fixed
+
+    baseline, fixed = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    print_header("Ablation — OP_T with full (V17-style) n25 SCell config")
+    print(f"baseline loop ratio: {baseline.loop_ratio():.0%}")
+    print(f"fixed-config ratio:  {fixed.loop_ratio():.0%} "
+          f"(S1 loops eliminated by the remedy)")
+
+    assert baseline.loop_ratio() > 0.25
+    assert fixed.loop_ratio() < baseline.loop_ratio() / 3
+
+
+def test_ablation_fix_op_a_5815_policy(benchmark):
+    config = CampaignConfig(area_names=["A6"], locations_per_area=8,
+                            runs_per_location=4, duration_s=300)
+
+    def run_both():
+        baseline = CampaignRunner([operator("OP_A")], config).run()
+        fixed_profile = copy.deepcopy(operator("OP_A"))
+        old = fixed_profile.policy.channel_policies[5815]
+        fixed_profile.policy.channel_policies[5815] = dataclasses.replace(
+            old, allows_scg=True, redirect_on_5g_report_to=None)
+        fixed = CampaignRunner([fixed_profile], config).run()
+        return baseline, fixed
+
+    baseline, fixed = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    baseline_n2e1 = sum(1 for run in baseline.runs if run.has_loop
+                        and run.analysis.subtype.value == "N2E1")
+    fixed_n2e1 = sum(1 for run in fixed.runs if run.has_loop
+                     and run.analysis.subtype.value == "N2E1")
+
+    print_header("Ablation — OP_A with 5G allowed on channel 5815")
+    print(f"baseline: loop ratio {baseline.loop_ratio():.0%}, "
+          f"{baseline_n2e1} N2E1 loop runs")
+    print(f"fixed:    loop ratio {fixed.loop_ratio():.0%}, "
+          f"{fixed_n2e1} N2E1 loop runs")
+
+    assert baseline_n2e1 > 0
+    assert fixed_n2e1 < baseline_n2e1 / 2 + 1

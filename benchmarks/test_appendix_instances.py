@@ -1,0 +1,80 @@
+"""Appendix C (Figures 27-33): one real signaling excerpt per sub-type.
+
+The paper's appendix walks through one captured instance of every loop
+sub-type.  This benchmark hunts the campaign areas for a run of each of
+the five commonly observed sub-types (S1E1, S1E2, S1E3, N2E1, N2E2 —
+N1 is rare at campaign scale, as in the paper, and is covered by the
+unit tests' crafted environments), then prints the NSG-style signaling
+excerpt around its first 5G-OFF transition.
+"""
+
+from repro.campaign import build_deployment, device, operator
+from repro.campaign.locations import sparse_locations
+from repro.campaign.runner import run_once
+from repro.traces.nsg_format import render_record
+from benchmarks.conftest import print_header
+
+SEARCH_PLAN = {
+    "S1E1": ("OP_T", "A2"),
+    "S1E2": ("OP_T", "A3"),
+    "S1E3": ("OP_T", "A1"),
+    "N2E1": ("OP_A", "A6"),
+    "N2E2": ("OP_V", "A11"),
+}
+
+
+def _find_instance(subtype, op_name, area_name, max_locations=30,
+                   runs_per_location=3):
+    profile = operator(op_name)
+    deployment = build_deployment(profile, area_name)
+    phone = device("OnePlus 12R")
+    points = sparse_locations(profile.area_spec(area_name).area,
+                              max_locations, seed=13)
+    for index, point in enumerate(points):
+        for run_index in range(runs_per_location):
+            result = run_once(deployment, profile, phone, point,
+                              f"{area_name}-X{index}", run_index,
+                              duration_s=300, keep_trace=True)
+            if result.has_loop and result.analysis.subtype.value == subtype:
+                return result
+    return None
+
+
+def _excerpt(result, window_s=6.0):
+    transition = result.analysis.transitions[0]
+    lines = []
+    for record in result.trace.signaling_records():
+        if abs(record.time_s - transition.time_s) > window_s:
+            continue
+        if record.kind == "meas_report" and \
+                abs(record.time_s - transition.time_s) > 2.0:
+            continue
+        lines.extend(render_record(record))
+    return transition, lines
+
+
+def test_appendix_c_instances(benchmark):
+    def hunt():
+        return {subtype: _find_instance(subtype, op_name, area_name)
+                for subtype, (op_name, area_name) in SEARCH_PLAN.items()}
+
+    instances = benchmark.pedantic(hunt, rounds=1, iterations=1)
+
+    for subtype, result in instances.items():
+        print_header(f"Appendix C — one {subtype} instance "
+                     f"({SEARCH_PLAN[subtype][0]}, {SEARCH_PLAN[subtype][1]})")
+        if result is None:
+            print("  (not found at this search scale)")
+            continue
+        transition, lines = _excerpt(result)
+        cell = transition.problem_cell.notation if transition.problem_cell \
+            else "?"
+        print(f"location {result.metadata.location}, 5G OFF at "
+              f"t={transition.time_s:.1f}s, problem cell {cell}")
+        for line in lines[:30]:
+            print(f"  {line}")
+
+    found = {subtype for subtype, result in instances.items()
+             if result is not None}
+    assert {"S1E3", "N2E1"} <= found  # the two dominant sub-types
+    assert len(found) >= 4

@@ -1,0 +1,68 @@
+"""Figure 1 + Figure 3 + section 3: the motivating S1E3 loop showcase.
+
+Paper reference: at P16 (OP_T, 5G SA, OnePlus 12R) the download speed
+oscillates between ~200+ Mbps (5G ON) and ~0 Mbps (5G OFF), with 11
+ON-OFF switches in 420 s, driven by a failing SCell modification
+273@387410 -> 371@387410 and ~10 s re-establishment gaps.
+"""
+
+import numpy as np
+
+from repro.analysis.maps import speed_timeline
+from repro.core.cellset import five_g_timeline
+from repro.core.pipeline import analyze_trace
+from benchmarks.conftest import print_header
+
+
+def test_fig01_showcase_loop(benchmark, op_t_showcase):
+    analysis = benchmark(analyze_trace, op_t_showcase.trace)
+
+    timeline = five_g_timeline(analysis.intervals)
+    transitions = sum(1 for a, b in zip(timeline, timeline[1:]) if a[0] != b[0])
+    performance = analysis.performance
+
+    print_header("Figure 1b — showcase 5G ON-OFF loop (OP_T, 5G SA)")
+    print(f"location: {op_t_showcase.metadata.location}, "
+          f"loop: {analysis.detection.kind.value} / {analysis.subtype.value}")
+    print(f"ON/OFF state changes in 420 s: {transitions} (paper: ~22, "
+          f"11 full cycles)")
+    print(f"median speed 5G ON:  {performance.median_on_mbps:7.1f} Mbps "
+          f"(paper: ~200+)")
+    print(f"median speed 5G OFF: {performance.median_off_mbps:7.1f} Mbps "
+          f"(paper: ~0)")
+    print("\ndownload speed over time (x marks 5G OFF):")
+    print(speed_timeline(op_t_showcase.trace.throughput_series()))
+
+    print("\nFigure 3b — RRC procedures of the first two cycles:")
+    for record in op_t_showcase.trace.signaling_records():
+        if record.time_s > 50:
+            break
+        if record.kind == "meas_report":
+            continue
+        print(f"  t={record.time_s:6.2f}s  {record.kind}")
+
+    assert analysis.has_loop
+    assert analysis.subtype.value == "S1E3"
+    assert transitions >= 6
+    assert performance.median_on_mbps > 50.0
+    assert performance.median_off_mbps < 5.0
+
+
+def test_fig03_loop_block_structure(benchmark, op_t_showcase):
+    records = op_t_showcase.trace.signaling_records()
+    from repro.core.cellset import extract_cellset_sequence
+
+    intervals = benchmark(extract_cellset_sequence, records)
+    assert intervals
+    analysis = analyze_trace(op_t_showcase.trace)
+    block = analysis.detection.block
+    print_header("Figure 3a — FSM: the repeating cell-set block")
+    for cellset in block:
+        state = "5G SA" if cellset.five_g_on else "IDLE "
+        print(f"  [{state}] {cellset}")
+    # The loop oscillates between 5G SA and IDLE.
+    assert any(cellset.five_g_on for cellset in block)
+    assert any(cellset.is_idle for cellset in block)
+    # OFF (re-selection) takes ~10s, as in the paper's example.
+    offs = [cycle.off_s for cycle in analysis.cycles]
+    assert 5.0 < np.median(offs) < 20.0

@@ -1,0 +1,62 @@
+"""Figures 5 and 7: the test-area catalogue and the A1 location map.
+
+Paper reference: Figure 5 maps the 11 areas over two cities (C1/C2,
+~19 km^2 total); Figure 7 maps A1's 25 sparse test locations, whose
+per-location loop likelihood Figure 8 then plots.
+"""
+
+from repro.analysis.maps import likelihood_map
+from repro.campaign import OPERATORS, operator
+from repro.campaign.locations import sparse_locations
+from benchmarks.conftest import CAMPAIGN_CONFIG, print_header
+
+
+def test_fig05_area_catalogue(benchmark):
+    def catalogue():
+        rows = []
+        for profile in OPERATORS.values():
+            for spec in profile.areas:
+                rows.append((spec.name, spec.city, profile.name,
+                             spec.size_km2))
+        return rows
+
+    rows = benchmark(catalogue)
+
+    print_header("Figure 5 — test areas (C1/C2)")
+    total = 0.0
+    for name, city, op_name, size in sorted(rows):
+        print(f"  {name:4s} {city}  {op_name}  {size:.2f} km^2")
+        total += size
+    print(f"  total: {total:.1f} km^2 (paper: ~19 km^2)")
+
+    assert len(rows) == 11
+    assert {city for _n, city, _o, _s in rows} == {"C1", "C2"}
+    assert 12.0 < total < 25.0
+
+
+def test_fig07_a1_location_map(benchmark, campaign):
+    spec = operator("OP_T").area_spec("A1")
+    op_t_a1 = campaign.for_operator("OP_T").for_area("A1")
+    likelihoods = op_t_a1.loop_likelihood_per_location()
+    points = sparse_locations(spec.area, CAMPAIGN_CONFIG.a1_locations,
+                              seed=_a1_seed())
+
+    def render():
+        # Location names are "A1-P<index+1>"; order them by index so
+        # they pair with the sampled points.
+        ordered = sorted(likelihoods, key=lambda name: int(name.split("P")[-1]))
+        values = [likelihoods[location] for location in ordered]
+        return likelihood_map(spec.area, points[:len(values)], values)
+
+    text = benchmark(render)
+    print_header("Figure 7 — A1 test locations (glyph = loop likelihood)")
+    print(text)
+
+    assert len(points) == 25
+    assert "|" in text
+
+
+def _a1_seed():
+    import zlib
+
+    return zlib.crc32(f"{CAMPAIGN_CONFIG.seed}|OP_T|A1".encode("utf-8"))

@@ -1,0 +1,31 @@
+"""Figure 6: loop ratio per operator (no-loop / persistent / semi-persistent).
+
+Paper reference: loops in ~half of all runs (OP_T 48.8%, OP_A 51.1%,
+OP_V 51.7%), almost all persistent; semi-persistent loops only with the
+NSA operators (OP_A 6.5%, OP_V 3.5%) and nearly absent for OP_T.
+"""
+
+from repro.analysis import figures
+from benchmarks.conftest import print_header
+
+PAPER = {"OP_T": 0.488, "OP_A": 0.511, "OP_V": 0.517}
+
+
+def test_fig06_loop_ratio(benchmark, campaign):
+    series = benchmark(figures.fig6_loop_ratio, campaign)
+
+    print_header("Figure 6 — loop ratio per operator")
+    print(f"{'operator':9s} {'no-loop':>9s} {'II-P':>7s} {'II-SP':>7s} "
+          f"{'loops':>7s} {'paper':>7s}")
+    for operator, ratios in sorted(series.items()):
+        loops = ratios["II-P"] + ratios["II-SP"]
+        print(f"{operator:9s} {ratios['I']:9.1%} {ratios['II-P']:7.1%} "
+              f"{ratios['II-SP']:7.1%} {loops:7.1%} {PAPER[operator]:7.1%}")
+
+    for operator, ratios in series.items():
+        loops = ratios["II-P"] + ratios["II-SP"]
+        # Shape: loops are common (roughly half of runs), not rare or
+        # universal.
+        assert 0.25 < loops < 0.80, f"{operator} loop ratio {loops:.2f}"
+        # Persistent loops dominate semi-persistent ones.
+        assert ratios["II-P"] > ratios["II-SP"]

@@ -1,0 +1,33 @@
+"""Figure 8: loop likelihood at the 25 test locations of area A1.
+
+Paper reference: loops at 20/25 locations, likelihood > 50% at 13
+locations and exactly 100% at 6 of them (P1-P6).
+"""
+
+from repro.analysis import figures
+from benchmarks.conftest import print_header
+
+
+def test_fig08_a1_location_likelihood(benchmark, campaign):
+    op_t = campaign.for_operator("OP_T")
+    likelihoods = benchmark(figures.fig8_location_likelihood, op_t, "A1")
+
+    ordered = sorted(likelihoods.items(), key=lambda item: -item[1])
+    print_header("Figure 8 — loop likelihood per A1 location")
+    for location, likelihood in ordered:
+        bar = "#" * round(likelihood * 20)
+        print(f"  {location:8s} {likelihood:6.0%} {bar}")
+
+    with_loops = sum(1 for value in likelihoods.values() if value > 0)
+    over_half = sum(1 for value in likelihoods.values() if value > 0.5)
+    always = sum(1 for value in likelihoods.values() if value == 1.0)
+    print(f"\nlocations with loops: {with_loops}/{len(likelihoods)} "
+          f"(paper: 20/25); >50%: {over_half} (paper: 13); "
+          f"=100%: {always} (paper: 6)")
+
+    assert len(likelihoods) == 25
+    # Shape: loops at a large portion of locations, with a spread of
+    # likelihoods including some always-looping sites.
+    assert with_loops >= len(likelihoods) // 2
+    assert over_half >= 5
+    assert always >= 1

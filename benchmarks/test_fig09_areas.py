@@ -1,0 +1,42 @@
+"""Figure 9: loop ratios per area and the per-location likelihood bands.
+
+Paper reference: loops occur in every one of the 11 areas; loops at
+>80% of locations in all areas except A7; likelihood >50% at more than
+half the locations in 8/11 areas.
+"""
+
+from repro.analysis import figures
+from benchmarks.conftest import print_header
+
+
+def test_fig09a_loop_ratio_per_area(benchmark, campaign):
+    series = benchmark(figures.fig9a_area_ratios, campaign)
+
+    print_header("Figure 9a — loop ratio per area")
+    for area in campaign.areas:
+        ratios = series[area]
+        loops = ratios["II-P"] + ratios["II-SP"]
+        print(f"  {area:4s} loops {loops:6.1%}  "
+              f"(P {ratios['II-P']:.1%} / SP {ratios['II-SP']:.1%})")
+
+    assert len(series) == 11
+    looping_areas = sum(1 for ratios in series.values()
+                        if ratios["II-P"] + ratios["II-SP"] > 0)
+    # F2: loops observed with all operators in all (or nearly all) areas.
+    assert looping_areas >= 10
+
+
+def test_fig09b_likelihood_bands(benchmark, campaign):
+    series = benchmark(figures.fig9b_likelihood_quartiles, campaign)
+
+    print_header("Figure 9b — share of locations per loop-likelihood band")
+    bands = [">75%", "50-75%", "25-50%", ">0-25%", "=0%"]
+    print("  area  " + "  ".join(f"{band:>7s}" for band in bands))
+    for area in campaign.areas:
+        shares = series[area]
+        print(f"  {area:4s}  " + "  ".join(f"{shares[band]:7.0%}"
+                                           for band in bands))
+
+    areas_with_wide_loops = sum(
+        1 for shares in series.values() if shares["=0%"] <= 0.5)
+    assert areas_with_wide_loops >= 8  # loops widely observed (F2)

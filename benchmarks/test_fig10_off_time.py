@@ -1,0 +1,43 @@
+"""Figure 10: cycle time / OFF time / OFF ratio distributions per operator.
+
+Paper reference: median cycle time 41 s (OP_T), 26 s (OP_A), 49 s
+(OP_V); OP_T OFF mostly 10-15 s; OP_A OFF mostly below 5 s; OP_V OFF
+bimodal (below 5 s and around 30 s); OFF ratio > 22% for half the OP_T
+and OP_V instances, OP_A least impacted.
+"""
+
+from repro.analysis import figures
+from benchmarks.conftest import print_header
+
+PAPER_MEDIAN_CYCLE = {"OP_T": 41.0, "OP_A": 26.0, "OP_V": 49.0}
+
+
+def test_fig10_off_time(benchmark, campaign):
+    series = benchmark(figures.fig10_off_time, campaign)
+
+    print_header("Figure 10 — ON-OFF cycle statistics per operator")
+    for operator in sorted(series):
+        summary = series[operator]
+        cycle, off, ratio = summary["cycle_s"], summary["off_s"], \
+            summary["off_ratio"]
+        print(f"{operator}: n={cycle.count}")
+        print(f"  cycle time  p25/median/p75 = {cycle.p25:5.1f} / "
+              f"{cycle.median:5.1f} / {cycle.p75:5.1f} s "
+              f"(paper median {PAPER_MEDIAN_CYCLE[operator]:.0f} s)")
+        print(f"  OFF time    p25/median/p75 = {off.p25:5.1f} / "
+              f"{off.median:5.1f} / {off.p75:5.1f} s")
+        print(f"  OFF ratio   p25/median/p75 = {ratio.p25:5.1%} / "
+              f"{ratio.median:5.1%} / {ratio.p75:5.1%}")
+
+    # Shapes: cycles of tens of seconds for every operator.
+    for operator, summary in series.items():
+        assert 5.0 < summary["cycle_s"].median < 150.0
+    # OP_T OFF time (IDLE + reselect) is around 10 s, much longer than
+    # OP_A/OP_V typical OFF (transient SCG re-addition).
+    assert series["OP_T"]["off_s"].median > series["OP_A"]["off_s"].median
+    assert series["OP_T"]["off_s"].median > series["OP_V"]["off_s"].median
+    assert 5.0 < series["OP_T"]["off_s"].median < 20.0
+    # OP_V's OFF distribution has a long upper tail (the ~30s multiples).
+    assert series["OP_V"]["off_s"].p95 > 20.0
+    # OP_T loses a substantial share of every cycle.
+    assert series["OP_T"]["off_ratio"].median > 0.2

@@ -1,0 +1,45 @@
+"""Figure 11: CDFs of download speed during 5G ON / 5G OFF and speed loss.
+
+Paper reference: median ON speed 186.1 Mbps (OP_T) >> 97.5 (OP_V) >>
+24.9 (OP_A); OP_T's OFF speed ~0 (data suspended in IDLE) while OP_A /
+OP_V retain 4G service; hence OP_T suffers by far the largest loss.
+"""
+
+import numpy as np
+
+from repro.analysis import figures
+from benchmarks.conftest import print_header
+
+PAPER_ON_MEDIAN = {"OP_T": 186.1, "OP_A": 24.9, "OP_V": 97.5}
+
+
+def _median(points):
+    return float(np.median([value for value, _f in points])) if points else 0.0
+
+
+def test_fig11_speed_cdfs(benchmark, campaign):
+    series = benchmark(figures.fig11_speed, campaign)
+
+    print_header("Figure 11 — download speed during 5G ON / OFF (loop runs)")
+    print(f"{'operator':9s} {'ON med':>9s} {'paper':>7s} {'OFF med':>9s} "
+          f"{'loss med':>9s}")
+    for operator in sorted(series):
+        on = _median(series[operator]["on"])
+        off = _median(series[operator]["off"])
+        loss = _median(series[operator]["loss"])
+        print(f"{operator:9s} {on:7.1f} M {PAPER_ON_MEDIAN[operator]:5.0f} M "
+              f"{off:7.1f} M {loss:7.1f} M")
+
+    on = {op: _median(values["on"]) for op, values in series.items()}
+    off = {op: _median(values["off"]) for op, values in series.items()}
+    loss = {op: _median(values["loss"]) for op, values in series.items()}
+
+    # Ordering of ON speeds: OP_T fastest, OP_A slowest.
+    assert on["OP_T"] > on["OP_V"] > on["OP_A"]
+    # OP_T's data service is suspended when 5G is OFF.
+    assert off["OP_T"] < 5.0
+    # NSA operators keep meaningful 4G throughput during OFF.
+    assert off["OP_A"] > 5.0 and off["OP_V"] > 5.0
+    # OP_T loses far more speed than either NSA operator (F4).
+    assert loss["OP_T"] > 2 * loss["OP_A"]
+    assert loss["OP_T"] > loss["OP_V"]

@@ -1,0 +1,62 @@
+"""Figure 12 + Table 4 + F5/F6: loops across the six phone models.
+
+Paper reference: over 5G NSA (OP_A, OP_V) loops appear with every phone
+model, except the OnePlus 10 Pro on OP_A (which gets no 5G there at
+all).  Over 5G SA (OP_T) loops appear **only** with the OnePlus 12R.
+"""
+
+from repro.analysis.tables import format_table, table4_devices
+from benchmarks.conftest import print_header
+
+DEVICE_ORDER = ["OnePlus 12R", "OnePlus 13R", "OnePlus 13", "Samsung S23",
+                "OnePlus 10 Pro", "Pixel 5"]
+
+
+def test_fig12_device_matrix(benchmark, device_matrix):
+    def summarise():
+        table = {}
+        for op_name, per_device in device_matrix.items():
+            table[op_name] = {device_name: result.loop_ratio()
+                              for device_name, result in per_device.items()}
+        return table
+
+    table = benchmark(summarise)
+
+    print_header("Table 4 — test phone models")
+    print(format_table(["model", "RRC", "MIMO", "SA CA", "capture"],
+                       table4_devices()))
+
+    print_header("Figure 12 — loop ratio per phone model per operator")
+    print(f"{'model':16s}" + "".join(f"{op:>8s}" for op in sorted(table)))
+    for device_name in DEVICE_ORDER:
+        row = "".join(f"{table[op][device_name]:8.0%}" for op in sorted(table))
+        print(f"{device_name:16s}{row}")
+
+    # F6: over SA, only the OnePlus 12R loops.
+    assert table["OP_T"]["OnePlus 12R"] > 0.2
+    for device_name in DEVICE_ORDER:
+        if device_name != "OnePlus 12R":
+            assert table["OP_T"][device_name] == 0.0, device_name
+
+    # F5: over NSA, loops with (almost) every model...
+    for device_name in DEVICE_ORDER:
+        assert table["OP_V"][device_name] > 0.1, device_name
+        if device_name != "OnePlus 10 Pro":
+            assert table["OP_A"][device_name] > 0.1, device_name
+    # ...except the OnePlus 10 Pro on OP_A, which is 4G-only there.
+    assert table["OP_A"]["OnePlus 10 Pro"] == 0.0
+
+
+def test_f5_10pro_has_no_5g_on_op_a(benchmark, device_matrix):
+    result = device_matrix["OP_A"]["OnePlus 10 Pro"]
+
+    def ever_on():
+        return sum(1 for run in result.runs
+                   if any(interval.cellset.five_g_on
+                          for interval in run.analysis.intervals))
+
+    on_runs = benchmark(ever_on)
+    print_header("F5 exception — OnePlus 10 Pro on OP_A")
+    print(f"runs with any 5G usage: {on_runs}/{len(result)} (paper: 0, "
+          f"the phone is LTE-only on this operator)")
+    assert on_runs == 0

@@ -1,0 +1,49 @@
+"""Figures 13-15 + F7: the loop taxonomy — S1 for SA, N1/N2 for NSA.
+
+Paper reference: three loop types with seven sub-types.  All S1
+instances belong to OP_T (5G SA <-> IDLE); all N1/N2 instances belong
+to OP_A / OP_V (5G NSA <-> IDLE* / 4G).  Every sub-type observed in the
+study appears in the regenerated campaign.
+"""
+
+from collections import Counter
+
+from repro.analysis import figures
+from benchmarks.conftest import print_header
+
+
+def test_fig13_loop_taxonomy(benchmark, campaign):
+    series = benchmark(figures.fig13_transition_counts, campaign)
+
+    print_header("Figure 13 — loop types per operator (loop-run counts)")
+    for operator in sorted(series):
+        print(f"  {operator}: {series[operator]}")
+
+    # F7: S1 only over SA; N1/N2 only over NSA.
+    assert set(series["OP_T"]) <= {"S1"}
+    assert set(series["OP_A"]) <= {"N1", "N2"}
+    assert set(series["OP_V"]) <= {"N1", "N2"}
+    assert series["OP_T"].get("S1", 0) > 0
+    assert series["OP_A"].get("N2", 0) > 0
+    assert series["OP_V"].get("N2", 0) > 0
+
+
+def test_fig14_fig15_subtype_coverage(benchmark, campaign):
+    def subtype_counts():
+        counts = Counter()
+        for run in campaign.runs:
+            if run.has_loop:
+                counts[run.analysis.subtype.value] += 1
+        return counts
+
+    counts = benchmark(subtype_counts)
+    print_header("Figures 14/15 — sub-types observed across the campaign")
+    for subtype, count in counts.most_common():
+        print(f"  {subtype:8s} {count:4d} loop runs")
+
+    # All three S1 sub-types and both N2 sub-types occur; N1 is rare but
+    # the mechanisms exist (asserted separately in the unit tests).
+    for required in ("S1E1", "S1E2", "S1E3", "N2E1", "N2E2"):
+        assert counts.get(required, 0) > 0, required
+    # The legacy A2-B1 sub-type of prior work is absent (F12).
+    assert counts.get("N2-A2B1", 0) == 0

@@ -1,0 +1,52 @@
+"""Figure 16 + F13: loop sub-type breakdown per area.
+
+Paper reference: S1E3 dominates for OP_T (64.4% of loop instances,
+vs 22.6% S1E2 and 13.0% S1E1) with the exception of A2, where the much
+worse n25 coverage makes S1E1/S1E2 prevalent.  N2 dominates for the NSA
+operators, with N2E2 more prevalent in the poor-5G-coverage areas
+(A8 for OP_A, A11 for OP_V) and N1 rare everywhere.
+"""
+
+from repro.analysis import figures
+from benchmarks.conftest import print_header
+
+
+def test_fig16_loop_breakdown(benchmark, campaign):
+    series = benchmark(figures.fig16_breakdown, campaign)
+
+    print_header("Figure 16 — loop sub-type breakdown per area")
+    for area in campaign.areas:
+        breakdown = series.get(area, {})
+        shares = "  ".join(f"{name} {share:4.0%}"
+                           for name, share in sorted(breakdown.items()))
+        print(f"  {area:4s} {shares or '(no loops)'}")
+
+    op_t = campaign.for_operator("OP_T").subtype_breakdown()
+    op_t_shares = {subtype.value: share for subtype, share in op_t.items()}
+    print("\nOP_T overall:", {k: round(v, 2) for k, v in op_t_shares.items()},
+          " (paper: S1E3 64.4%, S1E2 22.6%, S1E1 13.0%)")
+
+    # F13 shape: S1E3 is the single largest OP_T sub-type overall.
+    assert op_t_shares.get("S1E3", 0.0) == max(op_t_shares.values())
+    # A2's poor n25 coverage flips the mix away from S1E3 (the paper's
+    # exception area): S1E1+S1E2 dominate there.
+    a2 = series.get("A2", {})
+    if a2:
+        weak_cell_share = a2.get("S1E1", 0.0) + a2.get("S1E2", 0.0)
+        assert weak_cell_share > a2.get("S1E3", 0.0)
+
+    # N2 dominates for the NSA operators.
+    for op_name in ("OP_A", "OP_V"):
+        breakdown = campaign.for_operator(op_name).subtype_breakdown()
+        n2 = sum(share for subtype, share in breakdown.items()
+                 if subtype.loop_type == "N2")
+        n1 = sum(share for subtype, share in breakdown.items()
+                 if subtype.loop_type == "N1")
+        assert n2 > 0.5
+        assert n1 < 0.3
+
+    # N2E2 is more prevalent in the weak-5G areas than in the others.
+    a8 = series.get("A8", {})
+    a6 = series.get("A6", {})
+    if a8.get("N2E2") is not None and a6:
+        assert a8.get("N2E2", 0.0) >= a6.get("N2E2", 0.0) - 0.05

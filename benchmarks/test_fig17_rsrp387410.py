@@ -1,0 +1,65 @@
+"""Figure 17: RSRP of serving cells on the OP_T problem channel 387410.
+
+Paper reference: (a) the 10th-percentile RSRP across locations is far
+worse for 387410 than for the other channels; (b) A2 has visibly lower
+RSRP than the other areas; (c) S1E1/S1E2 instances sit on much weaker
+RSRP than S1E3 and no-loop instances (S1E3 happens where RSRP is fine
+but a better candidate exists).
+"""
+
+import numpy as np
+
+from repro.analysis import figures
+from repro.campaign.operators import OP_T_PROBLEM_CHANNEL
+from benchmarks.conftest import print_header
+
+
+def test_fig17a_tenth_percentile_cdf(benchmark, campaign):
+    op_t = campaign.for_operator("OP_T")
+    problem_points = benchmark(figures.fig17a_tenth_percentile_cdf, op_t,
+                               OP_T_PROBLEM_CHANNEL)
+    strong_points = figures.fig17a_tenth_percentile_cdf(op_t, 501390)
+
+    print_header("Figure 17a — CDF of 10th-pct serving RSRP per location")
+    problem_median = float(np.median([v for v, _f in problem_points]))
+    strong_median = float(np.median([v for v, _f in strong_points]))
+    print(f"  387410 (n25 problem channel): median {problem_median:.1f} dBm "
+          f"over {len(problem_points)} locations")
+    print(f"  501390 (n41 wideband):        median {strong_median:.1f} dBm "
+          f"over {len(strong_points)} locations")
+
+    assert problem_points and strong_points
+    # The problem channel's radio quality is clearly worse (F14).
+    assert problem_median < strong_median - 5.0
+
+
+def test_fig17b_rsrp_per_area(benchmark, campaign):
+    op_t = campaign.for_operator("OP_T")
+    per_area = benchmark(figures.fig17b_rsrp_per_area, op_t,
+                         OP_T_PROBLEM_CHANNEL)
+
+    print_header("Figure 17b — median 387410 serving RSRP per area")
+    for area in sorted(per_area):
+        print(f"  {area}: {per_area[area]:7.1f} dBm")
+
+    # A2 (the -4 dB override area) has the worst problem-channel RSRP.
+    others = [value for area, value in per_area.items() if area != "A2"]
+    assert per_area["A2"] < float(np.median(others))
+
+
+def test_fig17c_rsrp_per_subtype(benchmark, campaign):
+    op_t = campaign.for_operator("OP_T")
+    per_subtype = benchmark(figures.fig17c_rsrp_per_subtype, op_t,
+                            OP_T_PROBLEM_CHANNEL)
+
+    print_header("Figure 17c — median 387410 serving RSRP per loop sub-type")
+    for name in ("S1E1", "S1E2", "S1E3", "no-loop"):
+        if name in per_subtype:
+            print(f"  {name:8s} {per_subtype[name]:7.1f} dBm")
+
+    # S1E2 sits on much weaker RSRP than S1E3 / no-loop instances;
+    # S1E3 is comparable to no-loop (the paper's key observation).
+    if "S1E2" in per_subtype and "S1E3" in per_subtype:
+        assert per_subtype["S1E2"] < per_subtype["S1E3"] - 3.0
+    if "S1E3" in per_subtype and "no-loop" in per_subtype:
+        assert abs(per_subtype["S1E3"] - per_subtype["no-loop"]) < 12.0

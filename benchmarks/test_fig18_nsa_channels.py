@@ -1,0 +1,64 @@
+"""Figure 18 + F14 (NSA): channel usage in N2E1/N2E2 vs no-loop runs.
+
+Paper reference: 4G channel 5815 is rarely used in no-loop instances
+(1.6%) but accounts for ~40% of OP_A's N2E1 instances; channel 5230
+accounts for more than half of OP_V's N2E1 instances.
+"""
+
+from repro.analysis import figures
+from repro.campaign.operators import OP_A_PROBLEM_CHANNEL, OP_V_PROBLEM_CHANNEL
+from repro.core.classify import LoopSubtype
+from benchmarks.conftest import print_header
+
+
+def _print_usage(title, usage, highlight):
+    print(f"\n{title}")
+    channels = sorted(set(usage.get("no-loop", {})) |
+                      {channel for key, shares in usage.items()
+                       for channel in shares})
+    for channel in channels:
+        marker = " <-- problem channel" if channel == highlight else ""
+        loop_key = [key for key in usage if key != "no-loop"][0]
+        print(f"  {channel:7d}  loop {usage[loop_key].get(channel, 0.0):5.1%}  "
+              f"no-loop {usage.get('no-loop', {}).get(channel, 0.0):5.1%}"
+              f"{marker}")
+
+
+def test_fig18a_op_a_n2e1_channels(benchmark, campaign):
+    usage = benchmark(figures.fig18_channel_usage, campaign, "OP_A",
+                      LoopSubtype.N2E1, False)
+    print_header("Figure 18a — OP_A 4G channel usage: N2E1 vs no-loop")
+    _print_usage("OP_A (4G channels)", usage, OP_A_PROBLEM_CHANNEL)
+
+    problem = OP_A_PROBLEM_CHANNEL
+    assert usage["N2E1"].get(problem, 0.0) > \
+        usage["no-loop"].get(problem, 0.0)
+
+
+def test_fig18b_op_v_n2e1_channels(benchmark, campaign):
+    usage = benchmark(figures.fig18_channel_usage, campaign, "OP_V",
+                      LoopSubtype.N2E1, False)
+    print_header("Figure 18b — OP_V 4G channel usage: N2E1 vs no-loop")
+    _print_usage("OP_V (4G channels)", usage, OP_V_PROBLEM_CHANNEL)
+
+    problem = OP_V_PROBLEM_CHANNEL
+    assert usage["N2E1"].get(problem, 0.0) > \
+        usage["no-loop"].get(problem, 0.0)
+
+
+def test_fig18c_n2e2_5g_channels(benchmark, campaign):
+    def both():
+        return {
+            "OP_A": figures.fig18_channel_usage(campaign, "OP_A",
+                                                LoopSubtype.N2E2, True),
+            "OP_V": figures.fig18_channel_usage(campaign, "OP_V",
+                                                LoopSubtype.N2E2, True),
+        }
+
+    usage = benchmark(both)
+    print_header("Figure 18c — 5G channel usage: N2E2 vs no-loop")
+    for op_name, shares in usage.items():
+        _print_usage(f"{op_name} (5G channels)", shares, -1)
+
+    # N2E2 loops involve the 5G channels both operators actually use.
+    assert sum(usage["OP_V"]["N2E2"].values()) > 0.99

@@ -1,0 +1,52 @@
+"""Figure 20 + F16: the fine-grained spatial study around an S1E3 site.
+
+Paper reference: the loop probability varies smoothly around the anchor
+location and drops toward the edge of the dense grid; the two involved
+387410 SCells have complementary RSRP fields; the loop is likely where
+their RSRP gap is small.
+"""
+
+import numpy as np
+
+from repro.campaign import device, operator
+from repro.campaign.operators import OP_T_PROBLEM_CHANNEL
+from repro.cells.cell import Rat
+from benchmarks.conftest import print_header
+
+
+def test_fig20_spatial_probability_and_fields(benchmark, dense_study):
+    deployment, anchor, points, feature_sets, observed, _model = dense_study
+    environment = deployment.environment
+
+    problem_cells = environment.cells_on_channel(OP_T_PROBLEM_CHANNEL, Rat.NR)
+
+    def fields():
+        per_cell = {}
+        for cell in problem_cells[:4]:
+            per_cell[cell.identity.notation] = [
+                environment.propagation.mean_rsrp_dbm(cell, point)
+                for point in points]
+        return per_cell
+
+    rsrp_fields = benchmark(fields)
+
+    print_header("Figure 20 — dense spatial study around the S1E3 anchor")
+    print(f"anchor at ({anchor.x_m:.0f}, {anchor.y_m:.0f}) m; "
+          f"{len(points)} grid points at 60 m spacing")
+    print("\nmeasured P(S1E3) per grid point (b):")
+    for point, probability in zip(points, observed):
+        offset = (point.x_m - anchor.x_m, point.y_m - anchor.y_m)
+        print(f"  ({offset[0]:+5.0f}, {offset[1]:+5.0f}) m : {probability:5.0%}")
+
+    gaps = [features[0].scell_gap_db if features else 99.0
+            for features in feature_sets]
+    print("\nSCell RSRP gap at each point (e):",
+          [round(gap, 1) for gap in gaps])
+
+    # Probability varies over space (not constant).
+    assert max(observed) > min(observed)
+    # The anchor neighbourhood contains high-probability points.
+    assert max(observed) >= 0.5
+    # The RSRP fields of the problem-channel cells differ over space.
+    spreads = [max(values) - min(values) for values in rsrp_fields.values()]
+    assert any(spread > 3.0 for spread in spreads)

@@ -1,0 +1,98 @@
+"""Figure 21 + F16/F17: the two impact factors of S1E3 loop probability.
+
+Paper reference: (a) loop probability decreases with the SCell RSRP gap
+(exceeds 50% below 6 dB; Spearman -0.65); (b) the target SCells are used
+when the target PCell's RSRP gap is positive — a logistic-like relation
+(Spearman +0.66).
+"""
+
+import numpy as np
+
+from repro.analysis.stats import spearman
+from repro.campaign import device, operator
+from repro.campaign.runner import run_once
+from benchmarks.conftest import print_header
+
+
+def test_fig21a_scell_gap_correlation(benchmark, dense_study):
+    _deployment, _anchor, _points, feature_sets, observed, _model = dense_study
+
+    def correlate():
+        gaps, probabilities = [], []
+        for features, probability in zip(feature_sets, observed):
+            if not features:
+                continue
+            # The gap of the most-likely-used combination (largest PCell gap).
+            best = max(features, key=lambda c: c.pcell_gap_db)
+            gaps.append(best.scell_gap_db)
+            probabilities.append(probability)
+        return gaps, probabilities, spearman(gaps, probabilities)
+
+    gaps, probabilities, coefficient = benchmark(correlate)
+
+    print_header("Figure 21a — S1E3 probability vs SCell RSRP gap")
+    small_gap = [p for g, p in zip(gaps, probabilities) if g < 6.0]
+    large_gap = [p for g, p in zip(gaps, probabilities) if g >= 15.0]
+    if small_gap:
+        print(f"  mean P(loop), gap <  6 dB: {np.mean(small_gap):5.0%} "
+              f"over {len(small_gap)} locations (paper: >50%)")
+    if large_gap:
+        print(f"  mean P(loop), gap >= 15 dB: {np.mean(large_gap):5.0%} "
+              f"over {len(large_gap)} locations")
+    print(f"  Spearman correlation: {coefficient:+.2f} (paper: -0.65)")
+
+    # Negative correlation: a small gap makes the loop likely (F16).
+    # Our mechanism is direction-sensitive (the loop needs the rival to
+    # *beat* the serving SCell), so the rank correlation against the
+    # paper's absolute gap is weaker than the paper's -0.65.
+    assert coefficient < -0.05
+    if small_gap and large_gap:
+        assert np.mean(small_gap) > np.mean(large_gap)
+
+
+def test_fig21b_pcell_gap_usage(benchmark, dense_study):
+    deployment, _anchor, points, feature_sets, _observed, _model = dense_study
+    profile = operator("OP_T")
+    phone = device("OnePlus 12R")
+
+    # The "target" site is the most-used candidate site across the grid.
+    from collections import Counter
+
+    site_votes = Counter(max(features, key=lambda c: c.pcell_gap_db).site_pci
+                         for features in feature_sets if features)
+    target_pci = site_votes.most_common(1)[0][0]
+
+    def measure_usage():
+        gaps, usages = [], []
+        for index, (point, features) in enumerate(zip(points, feature_sets)):
+            target = [c for c in features if c.site_pci == target_pci]
+            if not target:
+                continue
+            used = 0
+            runs = 3
+            for run_index in range(runs):
+                result = run_once(deployment, profile, phone, point,
+                                  f"U{index}", run_index, duration_s=60)
+                pcis = {interval.cellset.pcell.pci
+                        for interval in result.analysis.intervals
+                        if interval.cellset.pcell is not None}
+                if target_pci in pcis:
+                    used += 1
+            gaps.append(target[0].pcell_gap_db)
+            usages.append(used / runs)
+        return gaps, usages, spearman(gaps, usages)
+
+    gaps, usages, coefficient = benchmark.pedantic(measure_usage, rounds=1,
+                                                   iterations=1)
+
+    print_header("Figure 21b — target-site usage vs PCell RSRP gap")
+    for gap, usage in sorted(zip(gaps, usages)):
+        print(f"  gap {gap:+6.1f} dB -> used in {usage:4.0%} of runs")
+    print(f"  Spearman correlation: {coefficient:+.2f} (paper: +0.66)")
+
+    # Positive correlation: the target site serves when its gap is positive.
+    assert coefficient > 0.25
+    strong = [u for g, u in zip(gaps, usages) if g > 6.0]
+    weak = [u for g, u in zip(gaps, usages) if g < -6.0]
+    if strong and weak:
+        assert np.mean(strong) > np.mean(weak)

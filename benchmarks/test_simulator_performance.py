@@ -1,0 +1,30 @@
+"""Performance of the substrate itself: runs simulated per second.
+
+Not a paper figure — a harness health check: a 300 s stationary run
+(signaling + throughput + analysis) should simulate in well under a
+second so that full campaigns stay laptop-scale.
+"""
+
+from repro.campaign import build_deployment, device, operator
+from repro.campaign.locations import sparse_locations
+from repro.campaign.runner import run_once
+from benchmarks.conftest import print_header
+
+
+def test_simulation_throughput(benchmark):
+    profile = operator("OP_V")
+    deployment = build_deployment(profile, "A9")
+    phone = device("OnePlus 12R")
+    point = sparse_locations(profile.area_spec("A9").area, 3, seed=2)[1]
+    counter = {"n": 0}
+
+    def one_run():
+        counter["n"] += 1
+        return run_once(deployment, profile, phone, point, "PERF",
+                        counter["n"], duration_s=300)
+
+    result = benchmark(one_run)
+    print_header("Harness health — one 300 s NSA run (simulate + analyse)")
+    print(f"run produced {result.analysis.n_cs_samples} cell-set changes; "
+          f"loop={result.analysis.detection.kind.value}")
+    assert result.analysis.duration_s > 250.0

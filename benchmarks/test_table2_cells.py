@@ -1,0 +1,34 @@
+"""Table 2: the 5G cells serving the showcase location.
+
+Paper reference: five cells over four channels (two n41 wideband, n25
+narrowband), RSRP medians around -81..-86 dBm with ~7-10 dB deviation.
+"""
+
+from repro.analysis.tables import format_table, table2_cells
+from repro.campaign import build_deployment, operator
+from repro.cells.cell import Rat
+from repro.radio.geometry import Point
+from benchmarks.conftest import print_header
+
+
+def test_table2_showcase_cells(benchmark, op_t_showcase):
+    deployment = build_deployment(operator("OP_T"), "A1")
+    point = op_t_showcase.point or Point(850.0, 850.0)
+
+    serving = sorted({identity
+                      for interval in op_t_showcase.analysis.intervals
+                      for identity in interval.cellset.all_cells()
+                      if identity.rat is Rat.NR})
+    rows = benchmark(table2_cells, deployment.environment, point, serving,
+                     500, op_t_showcase.metadata.run_seed)
+
+    print_header("Table 2 — 5G cells at the showcase location")
+    print(format_table(["cell", "band", "freq", "width", "RSRP (±σ)"], rows))
+    print("(paper: 393@521310/393@501390 on n41 90/100 MHz, "
+          "273/371@387410 + 273@398410 on n25 10 MHz, RSRP -81..-86 dBm)")
+
+    assert len(rows) >= 3
+    bands = {row[1] for row in rows}
+    assert "n41" in bands and "n25" in bands
+    widths = {row[3] for row in rows}
+    assert "10 MHz" in widths  # the narrow problem-channel cells

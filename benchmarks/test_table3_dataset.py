@@ -1,0 +1,60 @@
+"""Table 3: dataset statistics per operator.
+
+Paper reference (full scale): OP_T 46 locations / 7,445 min / 242 5G +
+113 4G cells / 1,353 loops over 5G SA; OP_A and OP_V 28 locations each,
+5G NSA, more 4G than 5G cells.  Our campaign is a scaled-down regrid of
+the same design, so counts are proportionally smaller but the relations
+(SA vs NSA mode, 5G>4G cells for OP_T, 4G>5G for OP_A/OP_V) must hold.
+"""
+
+from repro.analysis.tables import table3_statistics
+from repro.campaign import OPERATORS, build_deployment
+from repro.campaign.driving import campaign_cell_counts
+from benchmarks.conftest import AREA_SIZES_KM2, print_header
+
+
+def test_table3_dataset_statistics(benchmark, campaign):
+    rows = benchmark(table3_statistics, campaign, AREA_SIZES_KM2)
+    by_operator = {row.operator: row for row in rows}
+
+    print_header("Table 3 — dataset statistics (scaled campaign)")
+    for row in rows:
+        print(f"{row.operator}: mode={row.mode} areas={','.join(row.areas)} "
+              f"({row.area_size_km2:.1f} km^2)")
+        print(f"  locations={row.n_locations} total={row.total_time_min:.0f} min")
+        print(f"  5G bands={row.nr_bands} 4G bands={row.lte_bands}")
+        print(f"  #5G/#4G cells={row.n_nr_cells}/{row.n_lte_cells} "
+              f"RSRP samples={row.n_rsrp_samples:,} "
+              f"CS samples={row.n_cs_samples:,} "
+              f"unique CS={row.n_unique_cellsets:,} loops={row.n_loops:,}")
+
+    # The paper's cell counts come from the *driving* inventory, which
+    # also sees cells the stationary sessions never serve on (e.g.
+    # OP_T's 4G layer).
+    drive_counts = campaign_cell_counts(list(OPERATORS.values()),
+                                        build_deployment)
+    print("\ndriving-inventory cell counts (#5G / #4G):")
+    for op_name, (nr, lte) in sorted(drive_counts.items()):
+        print(f"  {op_name}: {nr} / {lte}")
+
+    assert set(by_operator) == {"OP_A", "OP_T", "OP_V"}
+    op_t, op_a, op_v = by_operator["OP_T"], by_operator["OP_A"], by_operator["OP_V"]
+    # OP_T tested at more locations than each NSA operator.
+    assert op_t.n_locations > op_a.n_locations
+    assert op_t.n_locations > op_v.n_locations
+    # OP_T's SA deployment shows more 5G usage; NSA operators anchor on 4G.
+    assert op_t.mode == "5G SA" and op_a.mode == "5G NSA"
+    assert "n25" in op_t.nr_bands and "n41" in op_t.nr_bands
+    assert op_a.nr_bands == ["n5", "n77"]
+    assert op_v.nr_bands == ["n77"]
+    # 4G cells dominate observations for the NSA operators (Table 3 shape).
+    assert op_a.n_lte_cells > op_a.n_nr_cells
+    assert op_v.n_lte_cells > op_v.n_nr_cells
+    # The driving inventory shows OP_T's 5G-heavy deployment (242 vs 113
+    # in the paper) while the NSA operators stay 4G-heavy.
+    assert drive_counts["OP_T"][0] > drive_counts["OP_T"][1]
+    assert drive_counts["OP_A"][1] > drive_counts["OP_A"][0]
+    assert drive_counts["OP_V"][1] > drive_counts["OP_V"][0]
+    # Loops observed with every operator.
+    for row in rows:
+        assert row.n_loops > 0

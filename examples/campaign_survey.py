@@ -1,0 +1,45 @@
+"""A miniature reality check (section 4) across all three operators.
+
+Runs a scaled-down measurement campaign (fewer locations/runs than the
+paper's Table 3) and prints the Figure 6 loop ratios, the Figure 16
+sub-type breakdown, and the Figure 10 cycle statistics.
+
+Run:  python examples/campaign_survey.py
+"""
+
+from repro.analysis import figures
+from repro.campaign import CampaignConfig, CampaignRunner, OPERATORS
+
+
+def main() -> None:
+    config = CampaignConfig(a1_locations=8, a1_runs_per_location=4,
+                            locations_per_area=6, runs_per_location=4,
+                            duration_s=300)
+    runner = CampaignRunner(list(OPERATORS.values()), config)
+    print("running campaign (this takes a minute or two)...")
+    result = runner.run()
+
+    print(f"\n{len(result)} runs at {len(result.locations)} locations")
+    print("\nFigure 6 — loop ratio per operator:")
+    for operator, ratios in figures.fig6_loop_ratio(result).items():
+        print(f"  {operator}: no-loop {ratios['I']:.0%}, "
+              f"persistent {ratios['II-P']:.0%}, "
+              f"semi-persistent {ratios['II-SP']:.0%}")
+
+    print("\nFigure 16 — loop sub-type breakdown per area:")
+    for area, breakdown in figures.fig16_breakdown(result).items():
+        shares = ", ".join(f"{name} {share:.0%}"
+                           for name, share in sorted(breakdown.items()))
+        print(f"  {area}: {shares or 'no loops'}")
+
+    print("\nFigure 10 — ON-OFF cycle statistics per operator:")
+    for operator, summaries in figures.fig10_off_time(result).items():
+        cycle = summaries["cycle_s"]
+        off = summaries["off_s"]
+        print(f"  {operator}: median cycle {cycle.median:.0f}s, "
+              f"median OFF {off.median:.1f}s "
+              f"({summaries['off_ratio'].median:.0%} of the cycle)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Section 6 end to end: predict S1E3 loop probability from RSRP features.
+
+1. Find a location with an S1E3 loop (like P16 in the paper).
+2. Run a fine-grained (dense) spatial campaign around it and measure the
+   loop probability at each nearby grid point (Figure 20).
+3. Extract the paper's two features per cell-set combination — the PCell
+   RSRP gap and the intra-channel SCell RSRP gap — and fit the model
+   u_i = logistic(k * gapP), p_i = max((1 - gapS/t), 0)^n, P = sum u_i p_i.
+4. Predict the loop probability at held-out sparse locations and report
+   the error distribution (Figure 22).
+
+Run:  python examples/loop_prediction.py
+"""
+
+from repro.analysis.stats import fraction_within, spearman
+from repro.campaign import build_deployment, device, operator
+from repro.campaign.locations import dense_grid_locations, sparse_locations
+from repro.campaign.runner import loop_probability_at, run_once
+from repro.campaign.operators import OP_T_PROBLEM_CHANNEL
+from repro.core.prediction import extract_location_features, fit_s1e3_model
+
+
+def main() -> None:
+    profile = operator("OP_T")
+    deployment = build_deployment(profile, "A1")
+    phone = device("OnePlus 12R")
+    area = profile.areas[0].area
+
+    # 1. Find an S1E3 site.
+    anchor = None
+    for index, point in enumerate(sparse_locations(area, 30, seed=7)):
+        result = run_once(deployment, profile, phone, point, f"P{index}", 0,
+                          duration_s=300)
+        if result.has_loop and result.analysis.subtype.value == "S1E3":
+            anchor = point
+            break
+    if anchor is None:
+        raise RuntimeError("no S1E3 loop found")
+    print(f"S1E3 anchor at ({anchor.x_m:.0f}, {anchor.y_m:.0f}) m")
+
+    # 2. Dense spatial ground truth around the anchor.
+    dense = dense_grid_locations(anchor, area, half_extent_m=150, spacing_m=75)
+    features, observed = [], []
+    for index, point in enumerate(dense):
+        probability = loop_probability_at(deployment, profile, phone, point,
+                                          f"D{index}", n_runs=4, duration_s=240,
+                                          subtype_value="S1E3")
+        features.append(extract_location_features(
+            deployment.environment, profile.policy, phone, point,
+            OP_T_PROBLEM_CHANNEL))
+        observed.append(probability)
+        print(f"  dense point {index:2d}: measured P(S1E3) = {probability:.2f}")
+
+    # 3. Fit the model.
+    model = fit_s1e3_model(features, observed)
+    print(f"\nfitted parameters: k={model.k:.3f}, t={model.t:.1f}, n={model.n:.2f}")
+
+    # 4. Evaluate on held-out sparse locations.
+    errors, truths, predictions = [], [], []
+    for index, point in enumerate(sparse_locations(area, 12, seed=21)):
+        truth = loop_probability_at(deployment, profile, phone, point,
+                                    f"E{index}", n_runs=4, duration_s=240,
+                                    subtype_value="S1E3")
+        predicted = model.predict(extract_location_features(
+            deployment.environment, profile.policy, phone, point,
+            OP_T_PROBLEM_CHANNEL))
+        errors.append(predicted - truth)
+        truths.append(truth)
+        predictions.append(predicted)
+        print(f"  sparse point {index:2d}: predicted {predicted:.2f} "
+              f"vs measured {truth:.2f}")
+
+    print(f"\nwithin ±25%: {fraction_within(errors, 0.25):.0%} of locations")
+    print(f"Spearman(prediction, truth) = {spearman(predictions, truths):.2f}")
+
+
+if __name__ == "__main__":
+    main()

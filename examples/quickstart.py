@@ -1,0 +1,63 @@
+"""Quickstart: observe one 5G ON-OFF loop, end to end.
+
+Simulates one 5-minute stationary speed test with OP_T (5G SA) on a
+OnePlus 12R at a location with a loop, then runs the paper's analysis
+pipeline on the captured signaling trace: serving cell set sequence,
+loop detection, sub-type classification, and performance impact —
+the reproduction of the paper's motivating example (Figures 1 and 3).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.campaign import build_deployment, device, operator
+from repro.campaign.locations import sparse_locations
+from repro.campaign.runner import run_once
+from repro.core.cellset import five_g_timeline
+
+
+def find_loop_run(profile, deployment, phone):
+    """Try candidate locations until a persistent loop shows up."""
+    for index, point in enumerate(sparse_locations(profile.areas[0].area, 30, seed=7)):
+        result = run_once(deployment, profile, phone, point, f"P{index + 1}",
+                          run_index=0, duration_s=300, keep_trace=True)
+        if result.has_loop:
+            return result
+    raise RuntimeError("no loop found — try more locations")
+
+
+def main() -> None:
+    profile = operator("OP_T")
+    deployment = build_deployment(profile, "A1")
+    phone = device("OnePlus 12R")
+
+    result = find_loop_run(profile, deployment, phone)
+    analysis = result.analysis
+
+    print(f"location {result.metadata.location}: "
+          f"{analysis.detection.kind.value} loop, sub-type {analysis.subtype.value}")
+    print(f"loop block ({analysis.detection.period} cell sets, "
+          f"repeats x{analysis.detection.repetitions}):")
+    for cellset in analysis.detection.block:
+        state = "5G ON " if cellset.five_g_on else "5G OFF"
+        print(f"  [{state}] {cellset}")
+
+    print("\n5G ON/OFF timeline (first 2 minutes):")
+    for on, start, end in five_g_timeline(analysis.intervals):
+        if start > 120:
+            break
+        state = "ON " if on else "OFF"
+        print(f"  {start:6.1f}s - {end:6.1f}s  5G {state}")
+
+    performance = analysis.performance
+    print(f"\nmedian download speed: {performance.median_on_mbps:.0f} Mbps (5G ON) "
+          f"vs {performance.median_off_mbps:.0f} Mbps (5G OFF)")
+    cycles = analysis.cycles
+    if cycles:
+        mean_cycle = sum(c.cycle_s for c in cycles) / len(cycles)
+        mean_off = sum(c.off_s for c in cycles) / len(cycles)
+        print(f"{len(cycles)} ON-OFF cycles, mean cycle {mean_cycle:.0f}s, "
+              f"mean OFF {mean_off:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

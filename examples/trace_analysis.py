@@ -1,0 +1,55 @@
+"""Analyse a signaling trace from disk — the released-dataset workflow.
+
+The paper ships its captures and analysis scripts; the equivalent here
+is: save a capture as JSONL, load it back with the parser, and run the
+pipeline on the parsed records only.  This is the API a user would point
+at their own (converted) Network Signal Guru logs.
+
+Run:  python examples/trace_analysis.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.campaign import build_deployment, device, operator
+from repro.campaign.locations import sparse_locations
+from repro.campaign.runner import run_once
+from repro.core.pipeline import analyze_trace
+from repro.traces.log import SignalingTrace
+
+
+def main() -> None:
+    profile = operator("OP_V")
+    deployment = build_deployment(profile, "A10")
+    phone = device("Pixel 5")
+
+    # Capture a run and persist it, exactly like a field capture would be.
+    point = sparse_locations(profile.area_spec("A10").area, 12, seed=4)[3]
+    captured = run_once(deployment, profile, phone, point, "PV3", 0,
+                        duration_s=300, keep_trace=True)
+    trace_path = Path(tempfile.gettempdir()) / "opv_pv3_run0.jsonl"
+    captured.trace.save(trace_path)
+    print(f"saved {len(captured.trace)} records to {trace_path}")
+
+    # Load it back and analyse from the file alone.
+    trace = SignalingTrace.load(trace_path)
+    analysis = analyze_trace(trace)
+
+    print(f"operator={trace.metadata.operator} device={trace.metadata.device}")
+    print(f"cell set changes: {analysis.n_cs_samples}, "
+          f"unique cell sets: {len(analysis.unique_cellsets)}")
+    print(f"loop: {analysis.detection.kind.value}", end="")
+    if analysis.has_loop:
+        print(f" (sub-type {analysis.subtype.value}, "
+              f"x{analysis.detection.repetitions} repetitions)")
+        for transition in analysis.transitions[:5]:
+            print(f"  5G OFF at t={transition.time_s:.1f}s "
+                  f"-> {transition.subtype.value}")
+    else:
+        print()
+    print(f"5G serving channels seen: {sorted(analysis.serving_nr_channels)}")
+    print(f"4G serving channels seen: {sorted(analysis.serving_lte_channels)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Walking experiment (section 7): loops appear and disappear with motion.
+
+Simulates a walk between two sparse locations of OP_A's area A6 and
+reports how the 5G ON/OFF pattern changes along the way, then compares
+against stationary runs at the two endpoints.
+
+Run:  python examples/walking_tour.py
+"""
+
+from repro.campaign import build_deployment, device, operator
+from repro.campaign.locations import sparse_locations, walking_path
+from repro.campaign.runner import run_once
+from repro.core.cellset import five_g_timeline
+
+
+def main() -> None:
+    profile = operator("OP_A")
+    deployment = build_deployment(profile, "A6")
+    phone = device("OnePlus 12R")
+    area = profile.area_spec("A6").area
+    points = sparse_locations(area, 10, seed=5)
+    start, end = points[0], points[1]
+
+    for label, point in (("start", start), ("end", end)):
+        stationary = run_once(deployment, profile, phone, point, label, 0,
+                              duration_s=300)
+        print(f"stationary at {label}: loop = "
+              f"{stationary.analysis.detection.kind.value}"
+              + (f" ({stationary.analysis.subtype.value})"
+                 if stationary.has_loop else ""))
+
+    duration = 420
+    provider = walking_path(start, end, duration, speed_m_s=1.4)
+    walk = run_once(deployment, profile, phone, start, "walk", 0,
+                    duration_s=duration, point_provider=provider)
+    print(f"\nwalking {start.distance_to(end):.0f} m "
+          f"({duration}s at 1.4 m/s): loop = {walk.analysis.detection.kind.value}")
+    print("5G ON/OFF segments while walking:")
+    for on, seg_start, seg_end in five_g_timeline(walk.analysis.intervals):
+        state = "ON " if on else "OFF"
+        print(f"  {seg_start:6.1f}s - {seg_end:6.1f}s  5G {state}")
+
+
+if __name__ == "__main__":
+    main()

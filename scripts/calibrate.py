@@ -1,0 +1,32 @@
+"""Calibration harness: loop statistics per operator across all areas."""
+import sys, time
+import numpy as np
+from repro.campaign import CampaignConfig, CampaignRunner, operator
+from repro.core.loops import LoopKind
+
+ops = sys.argv[1:] or ["OP_T", "OP_A", "OP_V"]
+t0 = time.time()
+for name in ops:
+    cfg = CampaignConfig(a1_locations=10, a1_runs_per_location=4,
+                         locations_per_area=8, runs_per_location=4, duration_s=300)
+    res = CampaignRunner([operator(name)], cfg).run()
+    kinds = res.loop_kind_ratios()
+    print(f"== {name}: runs={len(res)} loop={res.loop_ratio():.2f} "
+          f"P={kinds[LoopKind.PERSISTENT]:.2f} SP={kinds[LoopKind.SEMI_PERSISTENT]:.2f}")
+    print("   subtypes:", {k.value: round(v,2) for k,v in sorted(res.subtype_breakdown().items(), key=lambda kv: kv[0].value)})
+    for area in res.areas:
+        sub = res.for_area(area)
+        print(f"   {area}: loop={sub.loop_ratio():.2f}", {k.value: round(v,2) for k,v in sorted(sub.subtype_breakdown().items(), key=lambda kv: kv[0].value)})
+    cycles = res.all_cycles()
+    if cycles:
+        ct = [c.cycle_s for c in cycles]; ot=[c.off_s for c in cycles]; orat=[c.off_ratio for c in cycles]
+        print(f"   cycles: n={len(ct)} med_cycle={np.median(ct):.0f}s med_off={np.median(ot):.1f}s med_offratio={np.median(orat):.2f}")
+    perf_on=[]; perf_off=[]
+    for run in res.runs:
+        if run.has_loop:
+            p = run.analysis.performance
+            if p.on_speed_samples: perf_on.append(p.median_on_mbps)
+            if p.off_speed_samples: perf_off.append(p.median_off_mbps)
+    if perf_on:
+        print(f"   speed: med_ON={np.median(perf_on):.1f} med_OFF={np.median(perf_off):.1f} Mbps")
+print("elapsed", round(time.time()-t0,1))

@@ -1,0 +1,21 @@
+"""F5/F6 check: loops per device; OP_V per-subtype OFF times."""
+import numpy as np
+from repro.campaign import CampaignConfig, CampaignRunner, operator
+from repro.campaign.devices import DEVICES
+
+for opname in ("OP_T", "OP_A", "OP_V"):
+    print("==", opname)
+    for dev in DEVICES:
+        cfg = CampaignConfig(device_name=dev, area_names=[operator(opname).areas[0].name],
+                             a1_locations=5, a1_runs_per_location=3,
+                             locations_per_area=5, runs_per_location=3, duration_s=300)
+        res = CampaignRunner([operator(opname)], cfg).run()
+        on_any = sum(1 for r in res.runs for iv in r.analysis.intervals if iv.cellset.five_g_on)
+        print(f"  {dev:15s} loop={res.loop_ratio():.2f} (5G ever on in {sum(1 for r in res.runs if any(iv.cellset.five_g_on for iv in r.analysis.intervals))}/{len(res)} runs)")
+# OP_V off times per subtype
+from repro.core.classify import LoopSubtype
+cfg = CampaignConfig(locations_per_area=8, runs_per_location=4, duration_s=300)
+res = CampaignRunner([operator("OP_V")], cfg).run()
+for st, cycles in res.cycles_by_subtype().items():
+    offs = [c.off_s for c in cycles]
+    print("OP_V", st.value, "n=", len(offs), "off quartiles:", np.percentile(offs, [25,50,75,90]).round(1))

@@ -1,0 +1,33 @@
+"""Diagnose fig21: dense-study correlations and fitted model."""
+import numpy as np
+from repro.campaign import build_deployment, device, operator
+from repro.campaign.locations import dense_grid_locations, sparse_locations
+from repro.campaign.operators import OP_T_PROBLEM_CHANNEL
+from repro.campaign.runner import loop_probability_at, run_once
+from repro.core.prediction import extract_location_features, fit_s1e3_model
+from repro.analysis.stats import spearman
+
+profile = operator("OP_T")
+deployment = build_deployment(profile, "A1")
+phone = device("OnePlus 12R")
+area = profile.areas[0].area
+
+anchor = None
+for index, point in enumerate(sparse_locations(area, 40, seed=7)):
+    result = run_once(deployment, profile, phone, point, f"S{index}", 0, duration_s=300)
+    if result.has_loop and result.analysis.subtype.value == "S1E3":
+        anchor = point; break
+print("anchor", anchor)
+points = dense_grid_locations(anchor, area, half_extent_m=150.0, spacing_m=75.0)
+feats, obs = [], []
+for i, p in enumerate(points):
+    pr = loop_probability_at(deployment, profile, phone, p, f"D{i}", n_runs=4, duration_s=240, subtype_value="S1E3")
+    f = extract_location_features(deployment.environment, profile.policy, phone, p, OP_T_PROBLEM_CHANNEL)
+    feats.append(f); obs.append(pr)
+    best = max(f, key=lambda c: c.pcell_gap_db) if f else None
+    print(f" D{i}: P={pr:.2f} gaps={[(round(c.pcell_gap_db,1), round(c.scell_gap_db,1)) for c in f]}")
+gaps = [max(f, key=lambda c: c.pcell_gap_db).scell_gap_db for f in feats if f]
+probs = [p for f, p in zip(feats, obs) if f]
+print("spearman(scellgap, P):", spearman(gaps, probs))
+m = fit_s1e3_model(feats, obs)
+print("fitted k,t,n:", m.k, m.t, m.n)

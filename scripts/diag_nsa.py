@@ -1,0 +1,32 @@
+"""Diagnostic: inspect NSA run internals for calibration."""
+import numpy as np
+from collections import Counter
+from repro.campaign import operator, build_deployment
+from repro.campaign.devices import device
+from repro.campaign.locations import sparse_locations
+from repro.campaign.runner import run_once
+from repro.cells.cell import Rat
+from repro.traces.records import (ScgFailureRecord, RrcReconfigurationRecord,
+                                  RrcReestablishmentRequestRecord)
+
+for opname in ("OP_A", "OP_V"):
+    prof = operator(opname)
+    spec = prof.areas[0]
+    dep = build_deployment(prof, spec.name)
+    pts = sparse_locations(spec.area, 8, seed=1)
+    env = dep.environment
+    print("=====", opname, "cells:", len(env.cells))
+    ev = Counter()
+    for i, pt in enumerate(pts):
+        # radio snapshot
+        nr = sorted([env.propagation.mean_rsrp_dbm(c, pt) for c in env.cells_of_rat(Rat.NR)], reverse=True)[:3]
+        lte_best = sorted([(round(env.propagation.mean_rsrp_dbm(c, pt),1), c.identity.channel) for c in env.cells_of_rat(Rat.LTE)], reverse=True)[:4]
+        res = run_once(dep, prof, device("OnePlus 12R"), pt, f"L{i}", 0, duration_s=200, keep_trace=True)
+        tr = res.trace
+        n_scgfail = len(tr.of_kind(ScgFailureRecord))
+        n_ho = sum(1 for r in tr.of_kind(RrcReconfigurationRecord) if r.is_handover)
+        n_scgadd = sum(1 for r in tr.of_kind(RrcReconfigurationRecord) if r.adds_scg)
+        n_rel = sum(1 for r in tr.of_kind(RrcReconfigurationRecord) if r.release_scg)
+        n_reest = len(tr.of_kind(RrcReestablishmentRequestRecord))
+        print(f" L{i}: NRtop={['%.0f'%v for v in nr]} LTEtop={lte_best}")
+        print(f"     loop={res.analysis.detection.kind.value} sub={res.analysis.subtype.value} ho={n_ho} scg_add={n_scgadd} scg_fail={n_scgfail} scg_rel={n_rel} reest={n_reest}")

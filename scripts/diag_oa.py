@@ -1,0 +1,27 @@
+"""Why do OP_A locations not loop? Inspect per-location state sequences."""
+from collections import Counter
+from repro.campaign import operator, build_deployment
+from repro.campaign.devices import device
+from repro.campaign.locations import sparse_locations
+from repro.campaign.runner import run_once
+from repro.cells.cell import Rat
+from repro.core.cellset import five_g_timeline
+
+prof = operator("OP_A")
+spec = prof.areas[0]
+dep = build_deployment(prof, spec.name)
+env = dep.environment
+pts = sparse_locations(spec.area, 10, seed=3)
+for i, pt in enumerate(pts):
+    res = run_once(dep, prof, device("OnePlus 12R"), pt, f"L{i}", 0, duration_s=300, keep_trace=True)
+    ints = res.analysis.intervals
+    tl = five_g_timeline(ints)
+    on_time = sum(e-s for on,s,e in tl if on)
+    lte_best = sorted([(round(env.propagation.mean_rsrp_dbm(c, pt),1), c.identity.channel) for c in env.cells_of_rat(Rat.LTE)], reverse=True)[:3]
+    nr_best = sorted([round(env.propagation.mean_rsrp_dbm(c, pt),1) for c in env.cells_of_rat(Rat.NR)], reverse=True)[:2]
+    seq = [str(iv.cellset) for iv in ints]
+    print(f"L{i}: {res.analysis.detection.kind.value}/{res.analysis.subtype.value} on={on_time:.0f}s nseq={len(seq)} lte={lte_best} nr={nr_best}")
+    if len(seq) <= 8:
+        for s in seq: print("   ", s)
+    else:
+        print("    first:", seq[:4]); print("    uniq:", len(set(seq)))

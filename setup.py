@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+the legacy editable-install path (``pip install -e .``) offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""repro: a reproduction of "An In-Depth Look into 5G ON-OFF Loops in the
+Wild" (IMC 2025).
+
+The package has two halves:
+
+* a **simulation substrate** (``repro.cells``, ``repro.radio``,
+  ``repro.rrc``, ``repro.throughput``, ``repro.campaign``) that stands in
+  for the physical measurement campaign: synthetic operator deployments,
+  the RRC state machines whose inconsistent ON/OFF triggers create the
+  loops, and a harness that regenerates a dataset shaped like Table 3;
+* the **analysis library** (``repro.core``, ``repro.analysis``,
+  ``repro.traces``) matching the paper's released artifact: parse
+  signaling traces, extract serving cell set sequences, detect and
+  classify 5G ON-OFF loops, quantify their performance impact, and fit
+  the section-6 loop-probability prediction model.
+
+Quickstart::
+
+    from repro.campaign import CampaignConfig, CampaignRunner, operator
+
+    runner = CampaignRunner([operator("OP_T")],
+                            CampaignConfig(area_names=["A1"],
+                                           a1_locations=5,
+                                           a1_runs_per_location=3))
+    result = runner.run()
+    print(f"loop ratio: {result.loop_ratio():.0%}")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,26 @@
+"""Aggregate statistics, table renderers and per-figure series.
+
+``repro.analysis.figures`` exposes one function per paper figure that
+turns a :class:`~repro.campaign.dataset.CampaignResult` into the exact
+data series the figure plots; ``repro.analysis.tables`` renders the
+paper's tables.  The benchmark harness prints these.
+"""
+
+from repro.analysis.stats import (
+    cdf_points,
+    fraction_within,
+    quantiles,
+    spearman,
+    violin_summary,
+)
+from repro.analysis import figures, tables
+
+__all__ = [
+    "cdf_points",
+    "figures",
+    "fraction_within",
+    "quantiles",
+    "spearman",
+    "tables",
+    "violin_summary",
+]

@@ -1,0 +1,126 @@
+"""CSV dataset export — the released-dataset (MI-LAB) emulation.
+
+The paper ships its measurement dataset as per-run / per-instance
+tables.  This module exports a :class:`CampaignResult` into three CSVs
+with the same granularity:
+
+* ``runs.csv`` — one row per run: metadata, loop verdict, sub-type,
+  cycle counts, speed statistics;
+* ``cycles.csv`` — one row per ON-OFF cycle: durations and ratio;
+* ``transitions.csv`` — one row per classified 5G-OFF transition:
+  time, sub-type, problematic cell.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.campaign.dataset import CampaignResult
+
+RUN_FIELDS = [
+    "operator", "area", "location", "device", "run_seed", "mode",
+    "duration_s", "loop", "loop_kind", "subtype", "loop_period",
+    "loop_repetitions", "n_cycles", "median_on_mbps", "median_off_mbps",
+    "n_cellset_changes", "n_unique_cellsets",
+]
+
+CYCLE_FIELDS = [
+    "operator", "area", "location", "run_seed", "subtype",
+    "on_s", "off_s", "cycle_s", "off_ratio",
+]
+
+TRANSITION_FIELDS = [
+    "operator", "area", "location", "run_seed", "time_s", "subtype",
+    "problem_cell", "problem_channel",
+]
+
+
+def runs_csv(result: CampaignResult) -> str:
+    """Render the per-run table as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=RUN_FIELDS)
+    writer.writeheader()
+    for run in result.runs:
+        analysis = run.analysis
+        metadata = run.metadata
+        writer.writerow({
+            "operator": metadata.operator,
+            "area": metadata.area,
+            "location": metadata.location,
+            "device": metadata.device,
+            "run_seed": metadata.run_seed,
+            "mode": metadata.mode,
+            "duration_s": round(analysis.duration_s, 1),
+            "loop": int(analysis.has_loop),
+            "loop_kind": analysis.loop_kind.value,
+            "subtype": analysis.subtype.value if analysis.has_loop else "",
+            "loop_period": analysis.detection.period,
+            "loop_repetitions": analysis.detection.repetitions,
+            "n_cycles": len(analysis.cycles),
+            "median_on_mbps": round(analysis.performance.median_on_mbps, 2),
+            "median_off_mbps": round(analysis.performance.median_off_mbps, 2),
+            "n_cellset_changes": analysis.n_cs_samples,
+            "n_unique_cellsets": len(analysis.unique_cellsets),
+        })
+    return buffer.getvalue()
+
+
+def cycles_csv(result: CampaignResult) -> str:
+    """Render the per-cycle table as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=CYCLE_FIELDS)
+    writer.writeheader()
+    for run in result.runs:
+        if not run.has_loop:
+            continue
+        for cycle in run.analysis.cycles:
+            writer.writerow({
+                "operator": run.metadata.operator,
+                "area": run.metadata.area,
+                "location": run.metadata.location,
+                "run_seed": run.metadata.run_seed,
+                "subtype": run.analysis.subtype.value,
+                "on_s": round(cycle.on_s, 2),
+                "off_s": round(cycle.off_s, 2),
+                "cycle_s": round(cycle.cycle_s, 2),
+                "off_ratio": round(cycle.off_ratio, 4),
+            })
+    return buffer.getvalue()
+
+
+def transitions_csv(result: CampaignResult) -> str:
+    """Render the per-transition table as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=TRANSITION_FIELDS)
+    writer.writeheader()
+    for run in result.runs:
+        for transition in run.analysis.transitions:
+            cell = transition.problem_cell
+            writer.writerow({
+                "operator": run.metadata.operator,
+                "area": run.metadata.area,
+                "location": run.metadata.location,
+                "run_seed": run.metadata.run_seed,
+                "time_s": round(transition.time_s, 2),
+                "subtype": transition.subtype.value,
+                "problem_cell": cell.notation if cell else "",
+                "problem_channel": cell.channel if cell else "",
+            })
+    return buffer.getvalue()
+
+
+def export_dataset(result: CampaignResult, directory: str | Path) -> dict[str, Path]:
+    """Write all three CSVs into a directory; returns the written paths."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "runs": target / "runs.csv",
+        "cycles": target / "cycles.csv",
+        "transitions": target / "transitions.csv",
+    }
+    paths["runs"].write_text(runs_csv(result), encoding="utf-8")
+    paths["cycles"].write_text(cycles_csv(result), encoding="utf-8")
+    paths["transitions"].write_text(transitions_csv(result), encoding="utf-8")
+    return paths

@@ -1,0 +1,185 @@
+"""Per-figure data series (Figures 6-19).
+
+Every function maps a :class:`~repro.campaign.dataset.CampaignResult`
+(or a per-operator slice of one) to exactly the series the corresponding
+paper figure plots.  The benchmark files print these; tests assert their
+shapes and invariants.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.stats import ViolinSummary, cdf_points
+from repro.campaign.dataset import CampaignResult
+from repro.core.channels import (
+    median_rsrp_per_area,
+    median_rsrp_per_subtype,
+    nsa_channel_usage,
+    tenth_percentile_rsrp_per_location,
+)
+from repro.core.classify import LoopSubtype
+from repro.core.loops import LoopKind
+from repro.core.metrics import CycleMetrics
+
+
+def fig6_loop_ratio(result: CampaignResult) -> dict[str, dict[str, float]]:
+    """Figure 6: per-operator share of no-loop / persistent / semi-persistent."""
+    series: dict[str, dict[str, float]] = {}
+    for operator in result.operators:
+        ratios = result.for_operator(operator).loop_kind_ratios()
+        series[operator] = {kind.value: ratio for kind, ratio in ratios.items()}
+    return series
+
+
+def fig8_location_likelihood(result: CampaignResult,
+                             area: str = "A1") -> dict[str, float]:
+    """Figure 8: loop likelihood per test location in one area."""
+    return result.for_area(area).loop_likelihood_per_location()
+
+
+def fig9a_area_ratios(result: CampaignResult) -> dict[str, dict[str, float]]:
+    """Figure 9a: loop ratio (P / SP split) per area."""
+    series: dict[str, dict[str, float]] = {}
+    for area in result.areas:
+        ratios = result.for_area(area).loop_kind_ratios()
+        series[area] = {kind.value: ratio for kind, ratio in ratios.items()}
+    return series
+
+
+_LIKELIHOOD_BANDS = (">75%", "50-75%", "25-50%", ">0-25%", "=0%")
+
+
+def _likelihood_band(value: float) -> str:
+    if value == 0.0:
+        return "=0%"
+    if value > 0.75:
+        return ">75%"
+    if value > 0.50:
+        return "50-75%"
+    if value > 0.25:
+        return "25-50%"
+    return ">0-25%"
+
+
+def fig9b_likelihood_quartiles(result: CampaignResult) -> dict[str, dict[str, float]]:
+    """Figure 9b: per area, the share of locations in each likelihood band."""
+    series: dict[str, dict[str, float]] = {}
+    for area in result.areas:
+        likelihoods = result.for_area(area).loop_likelihood_per_location()
+        if not likelihoods:
+            continue
+        counts = {band: 0 for band in _LIKELIHOOD_BANDS}
+        for value in likelihoods.values():
+            counts[_likelihood_band(value)] += 1
+        total = len(likelihoods)
+        series[area] = {band: counts[band] / total for band in _LIKELIHOOD_BANDS}
+    return series
+
+
+def fig10_off_time(result: CampaignResult) -> dict[str, dict[str, ViolinSummary]]:
+    """Figure 10: cycle / OFF / OFF-ratio distributions per operator."""
+    series: dict[str, dict[str, ViolinSummary]] = {}
+    for operator in result.operators:
+        cycles: list[CycleMetrics] = result.for_operator(operator).all_cycles()
+        series[operator] = {
+            "cycle_s": ViolinSummary.of([c.cycle_s for c in cycles]),
+            "off_s": ViolinSummary.of([c.off_s for c in cycles]),
+            "off_ratio": ViolinSummary.of([c.off_ratio for c in cycles]),
+        }
+    return series
+
+
+def fig11_speed(result: CampaignResult) -> dict[str, dict[str, list[tuple[float, float]]]]:
+    """Figure 11: CDFs of per-run median ON speed, OFF speed, and loss."""
+    series: dict[str, dict[str, list[tuple[float, float]]]] = {}
+    for operator in result.operators:
+        on, off, loss = [], [], []
+        for run in result.for_operator(operator).runs:
+            if not run.has_loop:
+                continue
+            performance = run.analysis.performance
+            if performance.on_speed_samples:
+                on.append(performance.median_on_mbps)
+            if performance.off_speed_samples:
+                off.append(performance.median_off_mbps)
+            if performance.cycle_speed_losses:
+                loss.append(performance.median_speed_loss_mbps)
+        series[operator] = {"on": cdf_points(on), "off": cdf_points(off),
+                            "loss": cdf_points(loss)}
+    return series
+
+
+def fig13_transition_counts(result: CampaignResult) -> dict[str, dict[str, int]]:
+    """Figure 13: loop types observed per operator (count of loop runs)."""
+    series: dict[str, dict[str, int]] = {}
+    for operator in result.operators:
+        counts: dict[str, int] = defaultdict(int)
+        for run in result.for_operator(operator).runs:
+            if run.has_loop:
+                counts[run.analysis.subtype.loop_type] += 1
+        series[operator] = dict(counts)
+    return series
+
+
+def fig16_breakdown(result: CampaignResult) -> dict[str, dict[str, float]]:
+    """Figure 16: loop sub-type shares per area."""
+    series: dict[str, dict[str, float]] = {}
+    for area in result.areas:
+        breakdown = result.for_area(area).subtype_breakdown()
+        series[area] = {subtype.value: share for subtype, share in breakdown.items()}
+    return series
+
+
+def fig17a_tenth_percentile_cdf(result: CampaignResult,
+                                channel: int) -> list[tuple[float, float]]:
+    """Figure 17a: CDF over locations of the 10th-percentile serving RSRP."""
+    per_location = tenth_percentile_rsrp_per_location(result.analyses, channel)
+    return cdf_points(list(per_location.values()))
+
+
+def fig17b_rsrp_per_area(result: CampaignResult, channel: int) -> dict[str, float]:
+    """Figure 17b: median serving RSRP on the problem channel per area."""
+    return median_rsrp_per_area(result.analyses, channel)
+
+
+def fig17c_rsrp_per_subtype(result: CampaignResult, channel: int) -> dict[str, float]:
+    """Figure 17c: median serving RSRP on the problem channel per sub-type."""
+    return median_rsrp_per_subtype(result.analyses, channel)
+
+
+def fig18_channel_usage(result: CampaignResult, operator: str,
+                        subtype: LoopSubtype, use_nr: bool,
+                        ) -> dict[str, dict[int, float]]:
+    """Figure 18: channel usage of one loop sub-type vs no-loop runs."""
+    return nsa_channel_usage(result.for_operator(operator).analyses,
+                             subtype, use_nr)
+
+
+def fig19_off_by_subtype(result: CampaignResult,
+                         operator: str) -> dict[str, ViolinSummary]:
+    """Figure 19a/b: 5G OFF time per loop sub-type for one operator."""
+    grouped = result.for_operator(operator).cycles_by_subtype()
+    return {subtype.value: ViolinSummary.of([c.off_s for c in cycles])
+            for subtype, cycles in grouped.items()}
+
+
+def fig19c_measurement_delays(result: CampaignResult) -> dict[str, ViolinSummary]:
+    """Figure 19c: post-SCG-failure 5G measurement delays per operator."""
+    series: dict[str, ViolinSummary] = {}
+    for operator in result.operators:
+        delays: list[float] = []
+        for run in result.for_operator(operator).runs:
+            delays.extend(run.analysis.scg_meas_delays)
+        series[operator] = ViolinSummary.of(delays)
+    return series
+
+
+def persistent_share_of_loops(result: CampaignResult) -> float:
+    """Share of loop runs that are persistent (F1)."""
+    loop_runs = [run for run in result.runs if run.has_loop]
+    if not loop_runs:
+        return 0.0
+    persistent = sum(1 for run in loop_runs
+                     if run.analysis.loop_kind is LoopKind.PERSISTENT)
+    return persistent / len(loop_runs)

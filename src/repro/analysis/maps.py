@@ -1,0 +1,112 @@
+"""ASCII map rendering (Figures 5, 7 and 20's spatial panels).
+
+The paper's maps show test areas with per-location loop likelihood
+(Figure 7/8) and dense grids of loop probability and RSRP around one
+site (Figure 20).  These renderers draw the same content as character
+grids so the benchmarks can reproduce the figures on a terminal.
+"""
+
+from __future__ import annotations
+
+from repro.radio.geometry import Area, Point
+
+#: Likelihood glyph ramp: " " = 0%, then quartiles, "#" = 100%.
+_RAMP = " .:-=+*#"
+
+
+def _glyph(value: float) -> str:
+    index = min(int(value * (len(_RAMP) - 1) + 0.5), len(_RAMP) - 1)
+    return _RAMP[max(index, 0)]
+
+
+def likelihood_map(area: Area, points: list[Point], values: list[float],
+                   columns: int = 40) -> str:
+    """Plot per-location values onto an area-shaped character grid.
+
+    Each location is stamped at its grid cell with a glyph encoding its
+    value in [0, 1]; empty cells are dots of the area outline.
+    """
+    if len(points) != len(values):
+        raise ValueError("points and values must align")
+    if columns < 4:
+        raise ValueError("need at least 4 columns")
+    rows = max(2, round(columns * area.height_m / max(area.width_m, 1.0) / 2))
+    grid = [[" " for _ in range(columns)] for _ in range(rows)]
+    for point, value in zip(points, values):
+        col = min(int(point.x_m / area.width_m * columns), columns - 1)
+        row = min(int((1.0 - point.y_m / area.height_m) * rows), rows - 1)
+        grid[row][col] = _glyph(value)
+    border = "+" + "-" * columns + "+"
+    lines = [border]
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(border)
+    lines.append(f"scale: ' '=0% {' '.join(f'{g}={i / (len(_RAMP) - 1):.0%}' for i, g in enumerate(_RAMP) if i)}")
+    return "\n".join(lines)
+
+
+def field_map(points: list[Point], values: list[float],
+              low: float | None = None, high: float | None = None) -> str:
+    """Plot a dense regular grid of scalar values (e.g. an RSRP field).
+
+    Points must come from :func:`dense_grid_locations` (a regular grid);
+    values are normalised between ``low`` and ``high`` (defaults: the
+    sample min/max) and rendered with the glyph ramp.
+    """
+    if len(points) != len(values):
+        raise ValueError("points and values must align")
+    if not points:
+        return "(empty field)"
+    xs = sorted({round(point.x_m, 3) for point in points})
+    ys = sorted({round(point.y_m, 3) for point in points}, reverse=True)
+    low = min(values) if low is None else low
+    high = max(values) if high is None else high
+    span = max(high - low, 1e-9)
+    by_coord = {(round(p.x_m, 3), round(p.y_m, 3)): v
+                for p, v in zip(points, values)}
+    lines = []
+    for y in ys:
+        row = []
+        for x in xs:
+            value = by_coord.get((x, y))
+            if value is None:
+                row.append(" ")
+            else:
+                row.append(_glyph((value - low) / span))
+        lines.append("".join(row))
+    lines.append(f"range: {low:.1f} .. {high:.1f}")
+    return "\n".join(lines)
+
+
+def speed_timeline(series: list[tuple[float, float]], width: int = 70,
+                   height: int = 8, off_marker_mbps: float = 1.0) -> str:
+    """An ASCII rendering of a download-speed trace (Figure 1b).
+
+    Bins the (time, Mbps) series into ``width`` columns, draws each
+    column's mean as a bar, and marks 5G-OFF columns (speed below
+    ``off_marker_mbps``) with the paper's ``x``.
+    """
+    if width < 10 or height < 2:
+        raise ValueError("timeline needs width >= 10 and height >= 2")
+    if not series:
+        return "(no throughput samples)"
+    t0 = series[0][0]
+    t1 = series[-1][0]
+    span = max(t1 - t0, 1e-9)
+    columns: list[list[float]] = [[] for _ in range(width)]
+    for t, mbps in series:
+        index = min(int((t - t0) / span * width), width - 1)
+        columns[index].append(mbps)
+    means = [sum(values) / len(values) if values else 0.0
+             for values in columns]
+    peak = max(max(means), 1e-9)
+    lines = []
+    for level in range(height, 0, -1):
+        threshold = peak * (level - 0.5) / height
+        lines.append("".join("#" if mean >= threshold else " "
+                             for mean in means))
+    lines.append("".join("x" if (values and
+                                 sum(values) / len(values) < off_marker_mbps)
+                         else "-" for values, mean in zip(columns, means)))
+    lines.append(f"0s{' ' * (width - 10)}{span:6.0f}s   peak "
+                 f"{peak:.0f} Mbps, x = 5G OFF")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Plain-text report generation.
+
+Renders a campaign's headline results (loop ratios, sub-type breakdown,
+cycle statistics, speed impact) or a single run's analysis into a
+human-readable report — the console equivalent of the paper's section-4
+summary.  Used by the CLI and the examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import figures
+from repro.analysis.tables import format_table
+from repro.campaign.dataset import CampaignResult
+from repro.core.cellset import five_g_timeline
+from repro.core.pipeline import RunAnalysis
+
+
+def campaign_report(result: CampaignResult) -> str:
+    """A multi-section text report over a campaign's results."""
+    lines: list[str] = []
+    lines.append(f"campaign: {len(result)} runs, "
+                 f"{len(result.locations)} locations, "
+                 f"operators: {', '.join(result.operators)}")
+    lines.append("")
+
+    lines.append("loop ratios (Figure 6):")
+    rows = []
+    for operator, ratios in figures.fig6_loop_ratio(result).items():
+        rows.append([operator, f"{ratios['I']:.1%}", f"{ratios['II-P']:.1%}",
+                     f"{ratios['II-SP']:.1%}"])
+    lines.append(format_table(["operator", "no-loop", "persistent",
+                               "semi-persistent"], rows))
+    lines.append("")
+
+    lines.append("loop sub-types per area (Figure 16):")
+    for area, breakdown in figures.fig16_breakdown(result).items():
+        shares = ", ".join(f"{name} {share:.0%}"
+                           for name, share in sorted(breakdown.items()))
+        lines.append(f"  {area}: {shares or 'no loops'}")
+    lines.append("")
+
+    lines.append("cycle statistics (Figure 10):")
+    for operator, summary in figures.fig10_off_time(result).items():
+        cycle = summary["cycle_s"]
+        off = summary["off_s"]
+        if cycle.count == 0:
+            lines.append(f"  {operator}: no loop cycles")
+            continue
+        lines.append(f"  {operator}: {cycle.count} cycles, median cycle "
+                     f"{cycle.median:.0f}s, median OFF {off.median:.1f}s "
+                     f"({summary['off_ratio'].median:.0%} of the cycle)")
+    lines.append("")
+
+    lines.append("speed impact over loop runs (Figure 11):")
+    for operator, series in figures.fig11_speed(result).items():
+        on = [value for value, _f in series["on"]]
+        off = [value for value, _f in series["off"]]
+        if not on:
+            lines.append(f"  {operator}: no loop runs")
+            continue
+        off_median = float(np.median(off)) if off else 0.0
+        lines.append(f"  {operator}: median ON {float(np.median(on)):.0f} Mbps"
+                     f" vs OFF {off_median:.0f} Mbps")
+    return "\n".join(lines)
+
+
+def run_report(analysis: RunAnalysis) -> str:
+    """A text report for one analysed run (quickstart-style)."""
+    lines: list[str] = []
+    metadata = analysis.metadata
+    lines.append(f"run: operator={metadata.operator or '?'} "
+                 f"area={metadata.area or '?'} "
+                 f"location={metadata.location or '?'} "
+                 f"device={metadata.device or '?'}")
+    lines.append(f"loop: {analysis.detection.kind.value}"
+                 + (f", sub-type {analysis.subtype.value}, "
+                    f"x{analysis.detection.repetitions} repetitions"
+                    if analysis.has_loop else ""))
+    if analysis.has_loop:
+        lines.append("repeating cell-set block:")
+        for cellset in analysis.detection.block:
+            state = "5G ON " if cellset.five_g_on else "5G OFF"
+            lines.append(f"  [{state}] {cellset}")
+        for transition in analysis.transitions[:8]:
+            cell = (transition.problem_cell.notation
+                    if transition.problem_cell else "?")
+            lines.append(f"  OFF at t={transition.time_s:7.1f}s -> "
+                         f"{transition.subtype.value} (problem cell {cell})")
+    lines.append("5G ON/OFF timeline:")
+    for on, start, end in five_g_timeline(analysis.intervals)[:20]:
+        state = "ON " if on else "OFF"
+        lines.append(f"  {start:7.1f}s - {end:7.1f}s  5G {state}")
+    performance = analysis.performance
+    if performance.on_speed_samples or performance.off_speed_samples:
+        lines.append(f"median speed: {performance.median_on_mbps:.0f} Mbps ON "
+                     f"/ {performance.median_off_mbps:.0f} Mbps OFF")
+    return "\n".join(lines)

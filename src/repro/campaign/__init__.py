@@ -1,0 +1,37 @@
+"""Measurement campaign harness.
+
+Reproduces the paper's experiment design: three operator profiles
+(OP_T / OP_A / OP_V) with their areas, channel plans and policies; the
+six test phone models of Table 4; sparse and dense location sampling;
+stationary / walking runs; and dataset assembly (Table 3).
+"""
+
+from repro.campaign.devices import DEVICES, device
+from repro.campaign.operators import (
+    OPERATORS,
+    AreaSpec,
+    OperatorProfile,
+    build_deployment,
+    operator,
+)
+from repro.campaign.locations import dense_grid_locations, sparse_locations
+from repro.campaign.runner import CampaignConfig, CampaignRunner, RunResult, run_once
+from repro.campaign.dataset import CampaignResult, DatasetStatistics
+
+__all__ = [
+    "AreaSpec",
+    "CampaignConfig",
+    "CampaignResult",
+    "CampaignRunner",
+    "DEVICES",
+    "DatasetStatistics",
+    "OPERATORS",
+    "OperatorProfile",
+    "RunResult",
+    "build_deployment",
+    "dense_grid_locations",
+    "device",
+    "operator",
+    "run_once",
+    "sparse_locations",
+]

@@ -1,0 +1,100 @@
+"""The six test phone models (Table 4) as capability profiles.
+
+The capability differences below are the ones section 4.4 identifies as
+the reason loops are (or are not) observed per device:
+
+* **OnePlus 12R** — the primary test phone: carrier aggregation over SA,
+  camps on n41, receives downlink-only configuration for n25 SCells and
+  releases the whole MCG on any SCell exception (fragile n25 handling,
+  RRC V16.6.0).  The only model that shows S1 loops.
+* **OnePlus 13R** — V17.4.0, 4x4 MIMO: the network serves it the lean
+  2-cell configuration with uplink+downlink SCell config, skipping the
+  problematic n25 channels.
+* **OnePlus 13 / Samsung S23 Ultra** — camp on n71 for their SA PCell,
+  so they never use the problem SCells; Network Signal Guru cannot
+  capture their signaling (F6 case 3).
+* **OnePlus 10 Pro / Google Pixel 5** — no carrier aggregation over SA
+  (single PCell); the 10 Pro additionally gets no 5G at all on OP_A
+  (the F5 exception).
+"""
+
+from __future__ import annotations
+
+from repro.rrc.capabilities import DeviceCapabilities
+
+ONEPLUS_12R = DeviceCapabilities(
+    name="OnePlus 12R",
+    rrc_release="V16.6.0",
+    sa_carrier_aggregation=True,
+    sa_band_preference=("n41", "n25", "n71"),
+    fragile_scell_bands=frozenset({"n25"}),
+    max_sa_scells=3,
+    mimo_layers=2,
+)
+
+ONEPLUS_13R = DeviceCapabilities(
+    name="OnePlus 13R",
+    rrc_release="V17.4.0",
+    sa_carrier_aggregation=True,
+    sa_band_preference=("n41", "n25", "n71"),
+    fragile_scell_bands=frozenset(),
+    max_sa_scells=1,
+    mimo_layers=4,
+)
+
+ONEPLUS_13 = DeviceCapabilities(
+    name="OnePlus 13",
+    rrc_release="V17.4.0",
+    sa_carrier_aggregation=True,
+    sa_band_preference=("n71", "n41", "n25"),
+    fragile_scell_bands=frozenset(),
+    max_sa_scells=1,
+    mimo_layers=4,
+    nsg_supported=False,
+)
+
+SAMSUNG_S23 = DeviceCapabilities(
+    name="Samsung S23",
+    rrc_release="",
+    sa_carrier_aggregation=True,
+    sa_band_preference=("n71", "n41", "n25"),
+    fragile_scell_bands=frozenset(),
+    max_sa_scells=1,
+    mimo_layers=4,
+    nsg_supported=False,
+)
+
+ONEPLUS_10_PRO = DeviceCapabilities(
+    name="OnePlus 10 Pro",
+    rrc_release="V16.3.1",
+    sa_carrier_aggregation=False,
+    sa_band_preference=("n41", "n71"),
+    fragile_scell_bands=frozenset(),
+    max_sa_scells=0,
+    mimo_layers=2,
+    nsa_support=frozenset({"OP_T", "OP_V"}),
+)
+
+PIXEL_5 = DeviceCapabilities(
+    name="Pixel 5",
+    rrc_release="V15.9.0",
+    sa_carrier_aggregation=False,
+    sa_band_preference=("n41", "n71"),
+    fragile_scell_bands=frozenset(),
+    max_sa_scells=0,
+    mimo_layers=2,
+)
+
+DEVICES: dict[str, DeviceCapabilities] = {
+    profile.name: profile
+    for profile in (ONEPLUS_12R, ONEPLUS_13R, ONEPLUS_13, SAMSUNG_S23,
+                    ONEPLUS_10_PRO, PIXEL_5)
+}
+
+
+def device(name: str) -> DeviceCapabilities:
+    """Look up a phone model by its Table 4 name."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise KeyError(f"unknown device {name!r}; known: {sorted(DEVICES)}") from None

@@ -1,0 +1,73 @@
+"""Test location sampling.
+
+Section 4.1: the sparse (reality check) locations are chosen at least
+200 m apart to avoid the spatial correlation of loops; the dense
+(section 6) locations form a grid of a few tens of metres around a
+known loop site.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.radio.geometry import Area, Point
+
+
+def sparse_locations(area: Area, count: int, min_separation_m: float = 200.0,
+                     seed: int = 0, margin_m: float = 60.0) -> list[Point]:
+    """Randomly sample well-separated locations covering an area.
+
+    Rejection sampling with a gradually relaxed separation so the
+    requested count is always met even in small areas.
+    """
+    if count <= 0:
+        return []
+    rng = np.random.RandomState(seed)
+    locations: list[Point] = []
+    separation = min_separation_m
+    attempts_since_accept = 0
+    while len(locations) < count:
+        x = float(rng.uniform(margin_m, area.width_m - margin_m))
+        y = float(rng.uniform(margin_m, area.height_m - margin_m))
+        candidate = Point(x, y)
+        if all(candidate.distance_to(existing) >= separation
+               for existing in locations):
+            locations.append(candidate)
+            attempts_since_accept = 0
+        else:
+            attempts_since_accept += 1
+            if attempts_since_accept > 200:
+                separation *= 0.8  # relax: the area cannot fit the count
+                attempts_since_accept = 0
+    return locations
+
+
+def dense_grid_locations(centre: Point, area: Area, half_extent_m: float = 150.0,
+                         spacing_m: float = 50.0) -> list[Point]:
+    """A dense grid around one site, clipped to the area (section 6)."""
+    if spacing_m <= 0:
+        raise ValueError("spacing must be positive")
+    points: list[Point] = []
+    steps = int(half_extent_m // spacing_m)
+    for ix in range(-steps, steps + 1):
+        for iy in range(-steps, steps + 1):
+            candidate = centre.offset(ix * spacing_m, iy * spacing_m)
+            if area.contains(candidate):
+                points.append(candidate)
+    return points
+
+
+def walking_path(start: Point, end: Point, duration_s: int,
+                 speed_m_s: float = 1.4):
+    """A tick -> Point provider walking from start towards end (section 7)."""
+    total = start.distance_to(end)
+
+    def provider(tick: int) -> Point:
+        if total <= 1e-9:
+            return start
+        travelled = min(tick * speed_m_s, total)
+        fraction = travelled / total
+        return Point(start.x_m + fraction * (end.x_m - start.x_m),
+                     start.y_m + fraction * (end.y_m - start.y_m))
+
+    return provider

@@ -1,0 +1,331 @@
+"""The three operator profiles: OP_T, OP_A, OP_V.
+
+Everything the paper attributes to an operator lives here: deployment
+mode (Table 3), bands and channels in use, synthetic deployment density
+and power per channel (calibrated so the RSRP fields look like
+Figure 17 and the loop statistics land near Figures 6/9/16), and the
+channel-specific policies of findings F14/F15.
+
+Numbers here are the calibration surface of the reproduction: they are
+tuned so the *shape* of every evaluation result holds, not to match the
+paper's absolute values.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, replace
+
+from repro.cells.cell import Rat
+from repro.radio.deployment import AreaDeployment, ChannelPlan, build_area_deployment
+from repro.radio.geometry import Area
+from repro.radio.propagation import PropagationModel
+from repro.rrc.policies import ChannelPolicy, OperatorPolicy
+from repro.throughput.model import DataRateModel
+
+# The paper's problem channels (F14).
+OP_T_PROBLEM_CHANNEL = 387410
+OP_A_PROBLEM_CHANNEL = 5815
+OP_V_PROBLEM_CHANNEL = 5230
+
+
+@dataclass(frozen=True)
+class AreaSpec:
+    """One test area of the campaign (Figure 5)."""
+
+    name: str
+    city: str
+    width_m: float
+    height_m: float
+    site_spacing_m: float = 450.0
+    power_overrides: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def area(self) -> Area:
+        return Area(self.name, self.width_m, self.height_m)
+
+    @property
+    def size_km2(self) -> float:
+        return self.width_m * self.height_m / 1e6
+
+
+@dataclass
+class OperatorProfile:
+    """One operator: policy + deployment recipe + rate model."""
+
+    name: str
+    policy: OperatorPolicy
+    plans: list[ChannelPlan]
+    areas: list[AreaSpec]
+    rate_model: DataRateModel
+    path_loss_exponent: float = 3.5
+    shadowing_sigma_db: float = 8.0
+    noise_floor_dbm: float = -118.0
+
+    def area_spec(self, name: str) -> AreaSpec:
+        for spec in self.areas:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"{self.name} has no area {name!r}")
+
+
+def _seed_for(operator_name: str, area_name: str) -> int:
+    return zlib.crc32(f"{operator_name}/{area_name}".encode("utf-8"))
+
+
+def build_deployment(profile: OperatorProfile, area_name: str) -> AreaDeployment:
+    """Build the deterministic synthetic deployment of one operator area."""
+    spec = profile.area_spec(area_name)
+    seed = _seed_for(profile.name, area_name)
+    plans = []
+    for plan in profile.plans:
+        delta = spec.power_overrides.get(plan.channel, 0.0)
+        plans.append(replace(plan, tx_power_dbm=plan.tx_power_dbm + delta)
+                     if delta else plan)
+    propagation = PropagationModel(
+        seed=seed,
+        path_loss_exponent=profile.path_loss_exponent,
+        shadowing_sigma_db=profile.shadowing_sigma_db,
+        noise_floor_dbm=profile.noise_floor_dbm,
+    )
+    return build_area_deployment(spec.area, plans, propagation,
+                                 site_spacing_m=spec.site_spacing_m, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# OP_T — T-Mobile-style 5G SA (areas A1-A5, bands n25/n41/n71 + LTE 2/12/66)
+# ----------------------------------------------------------------------
+
+_OP_T_POLICY = OperatorPolicy(
+    name="OP_T",
+    mode="SA",
+    sa_pcell_channels=(521310, 501390, 126270),
+    sa_scell_channels=(501390, 521310, 387410, 398410, 126270),
+    selection_threshold_dbm=-108.0,
+    sa_scell_mod_a3_offset_db=6.0,
+    idle_reselection_delay_s=10.5,
+    rlf_rsrp_threshold_dbm=-121.0,
+    channel_policies={
+        387410: ChannelPolicy(387410, Rat.NR, downlink_only_scell_config=True,
+                              scell_mod_fragile=True),
+        398410: ChannelPolicy(398410, Rat.NR, downlink_only_scell_config=True),
+    },
+)
+
+_OP_T_PLANS = [
+    ChannelPlan(521310, Rat.NR, width_mhz=90.0, tx_power_dbm=21.0, site_fraction=1.0),
+    ChannelPlan(501390, Rat.NR, width_mhz=100.0, tx_power_dbm=21.0, site_fraction=1.0),
+    ChannelPlan(387410, Rat.NR, width_mhz=10.0, tx_power_dbm=21.0,
+                site_fraction=1.0, sectorized=True,
+                tags=frozenset({"problem-channel"})),
+    ChannelPlan(398410, Rat.NR, width_mhz=10.0, tx_power_dbm=24.0,
+                site_fraction=1 / 3, site_phase=1),
+    ChannelPlan(126270, Rat.NR, width_mhz=20.0, tx_power_dbm=12.0,
+                site_fraction=1 / 3, site_phase=2),
+    # 4G layer (kept for Table 3 statistics; SA sessions never use it).
+    ChannelPlan(900, Rat.LTE, width_mhz=20.0, tx_power_dbm=16.0, site_fraction=0.5),
+    ChannelPlan(5035, Rat.LTE, width_mhz=10.0, tx_power_dbm=12.0,
+                site_fraction=1 / 3, site_phase=1),
+    ChannelPlan(66661, Rat.LTE, width_mhz=20.0, tx_power_dbm=16.0,
+                site_fraction=0.5, site_phase=1),
+]
+
+_OP_T_AREAS = [
+    AreaSpec("A1", "C1", 1700.0, 1700.0),
+    AreaSpec("A2", "C1", 1300.0, 1250.0, power_overrides={387410: -6.0}),
+    AreaSpec("A3", "C1", 1350.0, 1330.0),
+    AreaSpec("A4", "C2", 1300.0, 1300.0),
+    AreaSpec("A5", "C2", 1300.0, 1310.0),
+]
+
+OP_T = OperatorProfile(
+    name="OP_T",
+    policy=_OP_T_POLICY,
+    plans=_OP_T_PLANS,
+    areas=_OP_T_AREAS,
+    rate_model=DataRateModel(utilization=0.35, secondary_discount=0.5),
+    noise_floor_dbm=-114.0,
+)
+
+
+# ----------------------------------------------------------------------
+# OP_A — AT&T-style 5G NSA (areas A6-A8, 5G n5/n77 + LTE 2/12/17/30/66)
+# ----------------------------------------------------------------------
+
+_OP_A_POLICY = OperatorPolicy(
+    name="OP_A",
+    mode="NSA",
+    nsa_b1_threshold_dbm=-115.0,
+    nsa_scg_a3_offset_db=5.0,
+    nsa_scg_a2_threshold_dbm=-118.0,
+    scg_ra_failure_threshold_dbm=-108.0,
+    rlf_rsrp_threshold_dbm=-117.0,
+    rlf_time_to_trigger_s=4,
+    handover_failure_threshold_dbm=-118.0,
+    scg_recovery_config_period_s=0.0,
+    idle_reselection_delay_s=8.0,
+    channel_policies={
+        5815: ChannelPolicy(5815, Rat.LTE, allows_scg=False,
+                            redirect_on_5g_report_to=5145,
+                            handover_a3_offset_db=6.0),
+        5145: ChannelPolicy(5145, Rat.LTE, handover_a3_offset_db=10.0),
+    },
+)
+
+_OP_A_PLANS = [
+    ChannelPlan(5815, Rat.LTE, width_mhz=10.0, tx_power_dbm=14.0,
+                site_fraction=0.5, interference_margin_db=0.0,
+                tags=frozenset({"problem-channel"})),
+    ChannelPlan(5145, Rat.LTE, width_mhz=10.0, tx_power_dbm=4.0,
+                site_fraction=0.25, interference_margin_db=2.0),
+    ChannelPlan(66661, Rat.LTE, width_mhz=20.0, tx_power_dbm=16.0,
+                site_fraction=1.0, interference_margin_db=5.0),
+    ChannelPlan(900, Rat.LTE, width_mhz=20.0, tx_power_dbm=16.0,
+                site_fraction=0.5, site_phase=1, interference_margin_db=5.0),
+    ChannelPlan(9820, Rat.LTE, width_mhz=10.0, tx_power_dbm=10.0,
+                site_fraction=1 / 3, site_phase=2, interference_margin_db=4.0),
+    ChannelPlan(174770, Rat.NR, width_mhz=10.0, tx_power_dbm=3.0,
+                site_fraction=0.5),
+    ChannelPlan(632736, Rat.NR, width_mhz=40.0, tx_power_dbm=15.0,
+                site_fraction=0.25, site_phase=1),
+    ChannelPlan(658080, Rat.NR, width_mhz=40.0, tx_power_dbm=15.0,
+                site_fraction=0.25, site_phase=1),
+]
+
+_OP_A_AREAS = [
+    AreaSpec("A6", "C1", 1300.0, 1250.0),
+    AreaSpec("A7", "C1", 1200.0, 1200.0, power_overrides={5815: -12.0}),
+    AreaSpec("A8", "C2", 1200.0, 1150.0, power_overrides={174770: -6.0}),
+]
+
+OP_A = OperatorProfile(
+    name="OP_A",
+    policy=_OP_A_POLICY,
+    plans=_OP_A_PLANS,
+    areas=_OP_A_AREAS,
+    rate_model=DataRateModel(utilization=0.42, secondary_discount=0.5),
+    noise_floor_dbm=-120.0,
+)
+
+
+# ----------------------------------------------------------------------
+# OP_V — Verizon-style 5G NSA (areas A9-A11, 5G n77 + LTE 2/5/13/66)
+# ----------------------------------------------------------------------
+
+_OP_V_POLICY = OperatorPolicy(
+    name="OP_V",
+    mode="NSA",
+    nsa_b1_threshold_dbm=-115.0,
+    nsa_scg_a3_offset_db=5.0,
+    nsa_scg_a2_threshold_dbm=-118.0,
+    scg_ra_failure_threshold_dbm=-108.0,
+    rlf_rsrp_threshold_dbm=-121.0,
+    rlf_time_to_trigger_s=4,
+    handover_failure_threshold_dbm=-126.0,
+    scg_recovery_config_period_s=30.0,
+    idle_reselection_delay_s=8.0,
+    channel_policies={
+        5230: ChannelPolicy(5230, Rat.LTE, allows_scg=True,
+                            drops_scg_on_entry=True,
+                            redirect_on_5g_report_to=66586,
+                            handover_a3_offset_db=6.0),
+    },
+)
+
+_OP_V_PLANS = [
+    ChannelPlan(5230, Rat.LTE, width_mhz=10.0, tx_power_dbm=14.0,
+                site_fraction=0.5, interference_margin_db=0.0,
+                tags=frozenset({"problem-channel"})),
+    ChannelPlan(66586, Rat.LTE, width_mhz=20.0, tx_power_dbm=16.0,
+                site_fraction=1.0, interference_margin_db=5.0),
+    ChannelPlan(1150, Rat.LTE, width_mhz=20.0, tx_power_dbm=16.0,
+                site_fraction=0.5, site_phase=1, interference_margin_db=5.0),
+    ChannelPlan(2450, Rat.LTE, width_mhz=10.0, tx_power_dbm=10.0,
+                site_fraction=1 / 3, site_phase=2, interference_margin_db=4.0),
+    ChannelPlan(648672, Rat.NR, width_mhz=60.0, tx_power_dbm=12.0,
+                site_fraction=2 / 3),
+    ChannelPlan(653952, Rat.NR, width_mhz=40.0, tx_power_dbm=12.0,
+                site_fraction=2 / 3),
+]
+
+_OP_V_AREAS = [
+    AreaSpec("A9", "C1", 1350.0, 1300.0),
+    AreaSpec("A10", "C1", 1300.0, 1300.0),
+    AreaSpec("A11", "C2", 1300.0, 1250.0, power_overrides={648672: -5.0,
+                                                           653952: -5.0}),
+]
+
+OP_V = OperatorProfile(
+    name="OP_V",
+    policy=_OP_V_POLICY,
+    plans=_OP_V_PLANS,
+    areas=_OP_V_AREAS,
+    rate_model=DataRateModel(utilization=0.8, secondary_discount=0.5),
+    noise_floor_dbm=-120.0,
+)
+
+
+# ----------------------------------------------------------------------
+# OP_T_NSA — extension (F5): in parts of city C2, OP_T serves 5G over NSA
+# rather than SA, and new ON-OFF loops appear there with *every* phone
+# model (the paper's August/September 2025 follow-up observation).
+# ----------------------------------------------------------------------
+
+_OP_T_NSA_POLICY = OperatorPolicy(
+    name="OP_T_NSA",
+    mode="NSA",
+    nsa_b1_threshold_dbm=-115.0,
+    nsa_scg_a3_offset_db=5.0,
+    nsa_scg_a2_threshold_dbm=-118.0,
+    scg_ra_failure_threshold_dbm=-108.0,
+    rlf_rsrp_threshold_dbm=-121.0,
+    rlf_time_to_trigger_s=4,
+    handover_failure_threshold_dbm=-126.0,
+    scg_recovery_config_period_s=0.0,
+    idle_reselection_delay_s=8.0,
+)
+
+_OP_T_NSA_PLANS = [
+    ChannelPlan(900, Rat.LTE, width_mhz=20.0, tx_power_dbm=16.0,
+                site_fraction=1.0, interference_margin_db=4.0),
+    ChannelPlan(5035, Rat.LTE, width_mhz=10.0, tx_power_dbm=12.0,
+                site_fraction=0.5, site_phase=1, interference_margin_db=2.0),
+    ChannelPlan(66661, Rat.LTE, width_mhz=20.0, tx_power_dbm=16.0,
+                site_fraction=0.5, interference_margin_db=4.0),
+    # The n41 layer serves as the NSA SCG; marginal at cell edges, which
+    # is where the inconsistent B1-vs-failure triggers bite (N2E2).
+    ChannelPlan(521310, Rat.NR, width_mhz=90.0, tx_power_dbm=5.0,
+                site_fraction=0.5),
+    ChannelPlan(501390, Rat.NR, width_mhz=100.0, tx_power_dbm=5.0,
+                site_fraction=0.5),
+]
+
+OP_T_NSA = OperatorProfile(
+    name="OP_T_NSA",
+    policy=_OP_T_NSA_POLICY,
+    plans=_OP_T_NSA_PLANS,
+    areas=[AreaSpec("C2-N1", "C2", 1300.0, 1250.0),
+           AreaSpec("C2-N2", "C2", 1250.0, 1250.0)],
+    rate_model=DataRateModel(utilization=0.5, secondary_discount=0.5),
+    noise_floor_dbm=-120.0,
+)
+
+
+OPERATORS: dict[str, OperatorProfile] = {
+    OP_T.name: OP_T,
+    OP_A.name: OP_A,
+    OP_V.name: OP_V,
+}
+
+#: Profiles beyond the paper's main campaign (section 4.4 / 7 follow-ups).
+EXTENDED_OPERATORS: dict[str, OperatorProfile] = {
+    OP_T_NSA.name: OP_T_NSA,
+}
+
+
+def operator(name: str) -> OperatorProfile:
+    """Look up an operator profile by name (``OP_T`` / ``OP_A`` / ``OP_V``)."""
+    try:
+        return OPERATORS[name]
+    except KeyError:
+        raise KeyError(f"unknown operator {name!r}; known: {sorted(OPERATORS)}") from None

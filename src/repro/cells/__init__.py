@@ -1,0 +1,41 @@
+"""Cell identity and radio numerology substrate.
+
+This subpackage models the 3GPP "numerology" needed by the rest of the
+library: converting channel numbers (NR-ARFCN for 5G, EARFCN for 4G) to
+carrier frequencies, the band catalogue used by the three measured US
+operators, and the cell identity notation ``ID@FreqChannelNo`` that the
+paper uses throughout (e.g. ``273@387410``).
+"""
+
+from repro.cells.arfcn import (
+    ArfcnError,
+    earfcn_to_frequency_mhz,
+    frequency_mhz_to_nr_arfcn,
+    nr_arfcn_to_frequency_mhz,
+)
+from repro.cells.bands import (
+    Band,
+    BandCatalogue,
+    LTE_BANDS,
+    NR_BANDS,
+    band_for_earfcn,
+    band_for_nr_arfcn,
+)
+from repro.cells.cell import CellIdentity, DeployedCell, Rat, parse_cell_notation
+
+__all__ = [
+    "ArfcnError",
+    "Band",
+    "BandCatalogue",
+    "CellIdentity",
+    "DeployedCell",
+    "LTE_BANDS",
+    "NR_BANDS",
+    "Rat",
+    "band_for_earfcn",
+    "band_for_nr_arfcn",
+    "earfcn_to_frequency_mhz",
+    "frequency_mhz_to_nr_arfcn",
+    "nr_arfcn_to_frequency_mhz",
+    "parse_cell_notation",
+]

@@ -1,0 +1,153 @@
+"""Channel-number <-> frequency conversion for 5G NR and 4G LTE.
+
+5G NR uses the *NR Absolute Radio Frequency Channel Number* (NR-ARFCN)
+defined in 3GPP TS 38.104 section 5.4.2.1.  The global frequency raster
+maps a channel number ``N`` to a reference frequency::
+
+    F_REF = F_REF_offs + dF_global * (N - N_REF_offs)
+
+with three raster regions (0-3 GHz, 3-24.25 GHz, 24.25-100 GHz).
+
+4G LTE uses the EARFCN defined in 3GPP TS 36.101 section 5.7.3::
+
+    F_DL = F_DL_low + 0.1 * (N_DL - N_offs_DL)
+
+where ``F_DL_low`` and ``N_offs_DL`` are per-band constants (see
+:mod:`repro.cells.bands`).
+
+The paper denotes every cell as ``ID@FreqChannelNo`` and reports centre
+frequencies such as 387410 -> 1937 MHz (band n25) and 5815 -> 742 MHz
+(LTE band 17); the functions here reproduce those numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class ArfcnError(ValueError):
+    """Raised when a channel number or frequency is outside every raster."""
+
+
+@dataclass(frozen=True)
+class _RasterRegion:
+    """One region of the NR global frequency raster (TS 38.104 Table 5.4.2.1-1)."""
+
+    delta_f_khz: float
+    f_ref_offs_mhz: float
+    n_ref_offs: int
+    n_ref_min: int
+    n_ref_max: int
+
+    def contains_arfcn(self, n: int) -> bool:
+        return self.n_ref_min <= n <= self.n_ref_max
+
+    def to_frequency_mhz(self, n: int) -> float:
+        return self.f_ref_offs_mhz + (self.delta_f_khz / 1000.0) * (n - self.n_ref_offs)
+
+    def frequency_range_mhz(self) -> tuple[float, float]:
+        return (
+            self.to_frequency_mhz(self.n_ref_min),
+            self.to_frequency_mhz(self.n_ref_max),
+        )
+
+
+_NR_RASTER: tuple[_RasterRegion, ...] = (
+    _RasterRegion(delta_f_khz=5.0, f_ref_offs_mhz=0.0, n_ref_offs=0,
+                  n_ref_min=0, n_ref_max=599_999),
+    _RasterRegion(delta_f_khz=15.0, f_ref_offs_mhz=3000.0, n_ref_offs=600_000,
+                  n_ref_min=600_000, n_ref_max=2_016_666),
+    _RasterRegion(delta_f_khz=60.0, f_ref_offs_mhz=24_250.08, n_ref_offs=2_016_667,
+                  n_ref_min=2_016_667, n_ref_max=3_279_165),
+)
+
+
+def nr_arfcn_to_frequency_mhz(arfcn: int) -> float:
+    """Convert an NR-ARFCN to its reference frequency in MHz.
+
+    >>> nr_arfcn_to_frequency_mhz(387410)
+    1937.05
+    >>> nr_arfcn_to_frequency_mhz(521310)
+    2606.55
+    """
+    for region in _NR_RASTER:
+        if region.contains_arfcn(arfcn):
+            return round(region.to_frequency_mhz(arfcn), 6)
+    raise ArfcnError(f"NR-ARFCN {arfcn} outside the global frequency raster")
+
+
+def frequency_mhz_to_nr_arfcn(frequency_mhz: float) -> int:
+    """Convert a frequency in MHz to the nearest NR-ARFCN on the raster.
+
+    The inverse of :func:`nr_arfcn_to_frequency_mhz`, rounding to the
+    nearest raster point.
+
+    >>> frequency_mhz_to_nr_arfcn(1937.05)
+    387410
+    """
+    if frequency_mhz < 0:
+        raise ArfcnError(f"negative frequency {frequency_mhz} MHz")
+    for region in _NR_RASTER:
+        low, high = region.frequency_range_mhz()
+        # Tolerate float rounding at region edges (raster steps are >= 5 kHz).
+        if low - 1e-6 <= frequency_mhz <= high + 1e-6:
+            step_mhz = region.delta_f_khz / 1000.0
+            n = region.n_ref_offs + round((frequency_mhz - region.f_ref_offs_mhz) / step_mhz)
+            return int(n)
+    raise ArfcnError(f"frequency {frequency_mhz} MHz outside the global raster")
+
+
+# EARFCN downlink constants per LTE band: band -> (F_DL_low MHz, N_offs_DL).
+# Values from 3GPP TS 36.101 Table 5.7.3-1 for the bands the three
+# operators in the paper use (Table 3: OP_A 2/12/17/30/66, OP_V 2/5/13/66,
+# OP_T 2/12/66).
+_EARFCN_DL: dict[int, tuple[float, int]] = {
+    2: (1930.0, 600),
+    5: (869.0, 2400),
+    12: (729.0, 5010),
+    13: (746.0, 5180),
+    17: (734.0, 5730),
+    30: (2350.0, 9770),
+    66: (2110.0, 66436),
+    71: (617.0, 68586),
+}
+
+# Number of downlink channel slots per band (width of the EARFCN range),
+# derived from the band's DL bandwidth (0.1 MHz per channel number).
+_EARFCN_SPAN: dict[int, int] = {
+    2: 600,
+    5: 250,
+    12: 170,
+    13: 100,
+    17: 120,
+    30: 100,
+    66: 700,
+    71: 350,
+}
+
+
+def earfcn_to_frequency_mhz(earfcn: int) -> float:
+    """Convert an LTE downlink EARFCN to its carrier frequency in MHz.
+
+    >>> earfcn_to_frequency_mhz(5815)
+    742.5
+    >>> earfcn_to_frequency_mhz(5230)
+    751.0
+    """
+    for _band, (f_dl_low, n_offs) in _EARFCN_DL.items():
+        span = _EARFCN_SPAN[_band]
+        if n_offs <= earfcn < n_offs + span:
+            return round(f_dl_low + 0.1 * (earfcn - n_offs), 6)
+    raise ArfcnError(f"EARFCN {earfcn} not in any supported LTE band")
+
+
+def earfcn_band(earfcn: int) -> int:
+    """Return the LTE band number an EARFCN belongs to.
+
+    >>> earfcn_band(5815)
+    17
+    """
+    for band, (_f, n_offs) in _EARFCN_DL.items():
+        if n_offs <= earfcn < n_offs + _EARFCN_SPAN[band]:
+            return band
+    raise ArfcnError(f"EARFCN {earfcn} not in any supported LTE band")

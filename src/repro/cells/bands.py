@@ -1,0 +1,107 @@
+"""Frequency band catalogue for the bands observed in the paper.
+
+Table 3 of the paper lists the bands in use per operator:
+
+* OP_T (T-Mobile, 5G SA): 5G n25, n41, n71; 4G bands 2, 12, 66.
+* OP_A (AT&T, 5G NSA):   5G n5, n77;       4G bands 2, 12, 17, 30, 66.
+* OP_V (Verizon, 5G NSA): 5G n77;          4G bands 2, 5, 13, 66.
+
+A band groups channels that share propagation characteristics (carrier
+frequency) and, per finding F14, operator policy: RRC policies in the
+paper are *channel-specific*, and problem channels (387410, 5815, 5230)
+live in specific bands (n25, LTE 17, LTE 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.arfcn import earfcn_band, nr_arfcn_to_frequency_mhz
+
+
+@dataclass(frozen=True)
+class Band:
+    """A 3GPP frequency band.
+
+    Attributes:
+        name: 3GPP designation, ``"n41"`` for NR or ``"B17"`` for LTE.
+        rat_is_nr: True for a 5G NR band, False for 4G LTE.
+        dl_low_mhz / dl_high_mhz: downlink frequency range.
+    """
+
+    name: str
+    rat_is_nr: bool
+    dl_low_mhz: float
+    dl_high_mhz: float
+
+    def contains_frequency(self, frequency_mhz: float) -> bool:
+        return self.dl_low_mhz <= frequency_mhz <= self.dl_high_mhz
+
+    @property
+    def centre_mhz(self) -> float:
+        return 0.5 * (self.dl_low_mhz + self.dl_high_mhz)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+NR_BANDS: dict[str, Band] = {
+    "n25": Band("n25", True, 1930.0, 1995.0),
+    "n41": Band("n41", True, 2496.0, 2690.0),
+    "n71": Band("n71", True, 617.0, 652.0),
+    "n5": Band("n5", True, 869.0, 894.0),
+    "n77": Band("n77", True, 3300.0, 4200.0),
+}
+
+LTE_BANDS: dict[str, Band] = {
+    "B2": Band("B2", False, 1930.0, 1990.0),
+    "B5": Band("B5", False, 869.0, 894.0),
+    "B12": Band("B12", False, 729.0, 746.0),
+    "B13": Band("B13", False, 746.0, 756.0),
+    "B17": Band("B17", False, 734.0, 746.0),
+    "B30": Band("B30", False, 2350.0, 2360.0),
+    "B66": Band("B66", False, 2110.0, 2200.0),
+    "B71": Band("B71", False, 617.0, 652.0),
+}
+
+
+def band_for_nr_arfcn(arfcn: int) -> Band:
+    """Return the NR band a 5G channel number belongs to.
+
+    >>> band_for_nr_arfcn(387410).name
+    'n25'
+    >>> band_for_nr_arfcn(521310).name
+    'n41'
+    """
+    frequency = nr_arfcn_to_frequency_mhz(arfcn)
+    for band in NR_BANDS.values():
+        if band.contains_frequency(frequency):
+            return band
+    raise KeyError(f"no catalogued NR band covers ARFCN {arfcn} ({frequency} MHz)")
+
+
+def band_for_earfcn(earfcn: int) -> Band:
+    """Return the LTE band a 4G channel number belongs to.
+
+    >>> band_for_earfcn(5815).name
+    'B17'
+    """
+    number = earfcn_band(earfcn)
+    return LTE_BANDS[f"B{number}"]
+
+
+class BandCatalogue:
+    """Lookup helper that resolves a channel number to its band for either RAT."""
+
+    def __init__(self) -> None:
+        self._nr = NR_BANDS
+        self._lte = LTE_BANDS
+
+    def band_of(self, channel: int, rat_is_nr: bool) -> Band:
+        """Resolve a channel number to a :class:`Band`."""
+        if rat_is_nr:
+            return band_for_nr_arfcn(channel)
+        return band_for_earfcn(channel)
+
+    def all_bands(self) -> list[Band]:
+        return list(self._nr.values()) + list(self._lte.values())

@@ -1,0 +1,143 @@
+"""Command-line interface.
+
+Three subcommands mirror the reproduction's main workflows::
+
+    python -m repro campaign --operator OP_T --areas A1 --locations 6 --runs 3
+        Run a scaled measurement campaign and print the summary report.
+
+    python -m repro analyze trace.jsonl
+        Analyse a saved signaling trace (loop detection, classification,
+        performance) — the released-dataset workflow.
+
+    python -m repro simulate --operator OP_V --area A9 --out trace.jsonl
+        Simulate one stationary run and save its signaling trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import campaign_report, run_report
+from repro.campaign import (
+    CampaignConfig,
+    CampaignRunner,
+    OPERATORS,
+    build_deployment,
+    device,
+    operator,
+)
+from repro.campaign.locations import sparse_locations
+from repro.campaign.runner import run_once
+from repro.core.pipeline import analyze_trace
+from repro.traces.log import SignalingTrace
+
+
+def _add_campaign_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "campaign", help="run a measurement campaign and print the report")
+    parser.add_argument("--operator", action="append", dest="operators",
+                        choices=sorted(OPERATORS),
+                        help="operator(s) to include (default: all)")
+    parser.add_argument("--areas", nargs="*", default=None,
+                        help="restrict to these areas (default: all)")
+    parser.add_argument("--locations", type=int, default=6,
+                        help="locations per area (default 6)")
+    parser.add_argument("--runs", type=int, default=4,
+                        help="runs per location (default 4)")
+    parser.add_argument("--duration", type=int, default=300,
+                        help="run duration in seconds (default 300)")
+    parser.add_argument("--device", default="OnePlus 12R",
+                        help="phone model (default: OnePlus 12R)")
+
+
+def _add_analyze_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "analyze", help="analyse a saved signaling trace (JSONL)")
+    parser.add_argument("trace", help="path to a trace .jsonl file")
+
+
+def _add_simulate_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "simulate", help="simulate one run and save the signaling trace")
+    parser.add_argument("--operator", default="OP_T", choices=sorted(OPERATORS))
+    parser.add_argument("--area", default=None,
+                        help="area name (default: the operator's first area)")
+    parser.add_argument("--device", default="OnePlus 12R")
+    parser.add_argument("--duration", type=int, default=300)
+    parser.add_argument("--location-seed", type=int, default=7,
+                        help="seed choosing the test location")
+    parser.add_argument("--location-index", type=int, default=0,
+                        help="which sampled location to use")
+    parser.add_argument("--run-index", type=int, default=0)
+    parser.add_argument("--out", required=True, help="output .jsonl path")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'An In-Depth Look into 5G ON-OFF "
+                    "Loops in the Wild' (IMC 2025)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_campaign_parser(subparsers)
+    _add_analyze_parser(subparsers)
+    _add_simulate_parser(subparsers)
+    return parser
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    names = args.operators or sorted(OPERATORS)
+    profiles = [operator(name) for name in names]
+    config = CampaignConfig(
+        device_name=args.device,
+        duration_s=args.duration,
+        locations_per_area=args.locations,
+        a1_locations=args.locations,
+        runs_per_location=args.runs,
+        a1_runs_per_location=args.runs,
+        area_names=args.areas,
+    )
+    result = CampaignRunner(profiles, config).run()
+    print(campaign_report(result))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    trace = SignalingTrace.load(args.trace)
+    analysis = analyze_trace(trace)
+    print(run_report(analysis))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    profile = operator(args.operator)
+    area_name = args.area or profile.areas[0].name
+    deployment = build_deployment(profile, area_name)
+    spec = profile.area_spec(area_name)
+    points = sparse_locations(spec.area, args.location_index + 1,
+                              seed=args.location_seed)
+    point = points[args.location_index]
+    result = run_once(deployment, profile, device(args.device), point,
+                      f"{area_name}-CLI", args.run_index,
+                      duration_s=args.duration, keep_trace=True)
+    result.trace.save(args.out)
+    print(f"saved {len(result.trace)} records to {args.out}")
+    print(run_report(result.analysis))
+    return 0
+
+
+_COMMANDS = {
+    "campaign": _cmd_campaign,
+    "analyze": _cmd_analyze,
+    "simulate": _cmd_simulate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,202 @@
+"""Serving cell set extraction (the paper's Appendix B).
+
+The serving cell set (CS) at any instant is the PCell plus the MCG
+SCells plus, over NSA, the SCG.  The sequence of cell sets is retrieved
+by replaying the RRC signaling messages:
+
+* RRC Setup Complete / Reestablishment Complete -> new PCell, empty set;
+* RRC Reconfiguration -> apply ``sCellToAddModList`` (index -> cell) and
+  ``sCellToReleaseList`` (indices!), PCell handovers, SCG setup/release;
+* RRC Release, a Reestablishment *Request*, or an MM5G DEREGISTERED
+  state line -> everything released (IDLE).
+
+The index bookkeeping matters: ``sCellToReleaseList {3}`` only says
+"release sCellIndex 3" — which cell that is depends on the add/mod
+history, exactly as in Figure 26.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.cell import CellIdentity, Rat
+from repro.traces.records import (
+    MmStateRecord,
+    Record,
+    RrcReconfigurationRecord,
+    RrcReestablishmentCompleteRecord,
+    RrcReestablishmentRequestRecord,
+    RrcReleaseRecord,
+    RrcSetupCompleteRecord,
+)
+
+
+@dataclass(frozen=True)
+class CellSet:
+    """One serving cell set (immutable, hashable)."""
+
+    pcell: CellIdentity | None = None
+    mcg_scells: frozenset[CellIdentity] = frozenset()
+    scg_pscell: CellIdentity | None = None
+    scg_scells: frozenset[CellIdentity] = frozenset()
+
+    @property
+    def is_idle(self) -> bool:
+        return self.pcell is None
+
+    @property
+    def five_g_on(self) -> bool:
+        """The paper's 5G ON definition: any 5G resource actively used."""
+        if self.pcell is not None and self.pcell.rat is Rat.NR:
+            return True
+        return self.scg_pscell is not None
+
+    def all_cells(self) -> frozenset[CellIdentity]:
+        cells: set[CellIdentity] = set()
+        if self.pcell is not None:
+            cells.add(self.pcell)
+        cells.update(self.mcg_scells)
+        if self.scg_pscell is not None:
+            cells.add(self.scg_pscell)
+        cells.update(self.scg_scells)
+        return frozenset(cells)
+
+    def nr_cells(self) -> frozenset[CellIdentity]:
+        return frozenset(cell for cell in self.all_cells() if cell.rat is Rat.NR)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_idle:
+            return "{IDLE}"
+        parts = [f"P:{self.pcell.notation}"]
+        parts.extend(f"S:{cell.notation}" for cell in sorted(self.mcg_scells))
+        if self.scg_pscell is not None:
+            parts.append(f"PS:{self.scg_pscell.notation}")
+            parts.extend(f"SS:{cell.notation}" for cell in sorted(self.scg_scells))
+        return "{" + ", ".join(parts) + "}"
+
+
+IDLE_CELLSET = CellSet()
+
+
+@dataclass(frozen=True)
+class CellSetInterval:
+    """One cell set holding over a time interval."""
+
+    cellset: CellSet
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class _CellSetTracker:
+    """Replays signaling records to maintain the current cell set."""
+
+    def __init__(self) -> None:
+        self.pcell: CellIdentity | None = None
+        self.scell_table: dict[int, CellIdentity] = {}
+        self.scg_pscell: CellIdentity | None = None
+        self.scg_scells: tuple[CellIdentity, ...] = ()
+
+    def snapshot(self) -> CellSet:
+        return CellSet(
+            pcell=self.pcell,
+            mcg_scells=frozenset(self.scell_table.values()),
+            scg_pscell=self.scg_pscell,
+            scg_scells=frozenset(self.scg_scells),
+        )
+
+    def _reset(self) -> None:
+        self.pcell = None
+        self.scell_table.clear()
+        self.scg_pscell = None
+        self.scg_scells = ()
+
+    def apply(self, record: Record) -> bool:
+        """Apply one record; returns True if the cell set may have changed."""
+        if isinstance(record, (RrcSetupCompleteRecord, RrcReestablishmentCompleteRecord)):
+            self._reset()
+            self.pcell = record.cell
+            return True
+        if isinstance(record, RrcReestablishmentRequestRecord):
+            self._reset()
+            return True
+        if isinstance(record, RrcReleaseRecord):
+            self._reset()
+            return True
+        if isinstance(record, MmStateRecord):
+            if record.state == "DEREGISTERED":
+                self._reset()
+                return True
+            return False
+        if isinstance(record, RrcReconfigurationRecord):
+            return self._apply_reconfiguration(record)
+        return False
+
+    def _apply_reconfiguration(self, record: RrcReconfigurationRecord) -> bool:
+        changed = False
+        if record.handover_target is not None:
+            self.pcell = record.handover_target
+            self.scell_table.clear()
+            changed = True
+        for index in record.scell_release_indices:
+            if self.scell_table.pop(index, None) is not None:
+                changed = True
+        for entry in record.scell_add_mod:
+            self.scell_table[entry.scell_index] = entry.identity
+            changed = True
+        if record.release_scg and (self.scg_pscell is not None or self.scg_scells):
+            self.scg_pscell = None
+            self.scg_scells = ()
+            changed = True
+        if record.scg_pscell is not None:
+            self.scg_pscell = record.scg_pscell
+            self.scg_scells = tuple(record.scg_scells)
+            changed = True
+        return changed
+
+
+def extract_cellset_sequence(records: list[Record],
+                             end_time_s: float | None = None) -> list[CellSetInterval]:
+    """Replay a record list into the sequence of serving cell sets.
+
+    Consecutive identical cell sets are merged; the sequence always
+    starts at the first record's time (IDLE if the trace starts before
+    any setup).
+    """
+    tracker = _CellSetTracker()
+    intervals: list[CellSetInterval] = []
+    if not records:
+        return intervals
+    current = tracker.snapshot()
+    current_start = records[0].time_s
+    last_time = records[0].time_s
+    for record in records:
+        last_time = record.time_s
+        if not tracker.apply(record):
+            continue
+        new_set = tracker.snapshot()
+        if new_set == current:
+            continue
+        intervals.append(CellSetInterval(current, current_start, record.time_s))
+        current = new_set
+        current_start = record.time_s
+    final_end = end_time_s if end_time_s is not None else last_time
+    final_end = max(final_end, current_start)
+    intervals.append(CellSetInterval(current, current_start, final_end))
+    return intervals
+
+
+def five_g_timeline(intervals: list[CellSetInterval]) -> list[tuple[bool, float, float]]:
+    """Collapse a cell set sequence into (is_on, start, end) segments."""
+    segments: list[tuple[bool, float, float]] = []
+    for interval in intervals:
+        on = interval.cellset.five_g_on
+        if segments and segments[-1][0] == on:
+            previous = segments[-1]
+            segments[-1] = (on, previous[1], interval.end_s)
+        else:
+            segments.append((on, interval.start_s, interval.end_s))
+    return segments

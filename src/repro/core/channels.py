@@ -1,0 +1,160 @@
+"""Channel-level cause analysis (section 5.3: Table 5, Figures 17-18).
+
+Finding F14: RRC policies are channel-specific, so the analysis pivots
+every loop instance on the channels its serving cells used: usage
+breakdown per channel in loop vs no-loop runs, the SCell-modification
+failure ratio per channel, and the RSRP distributions of serving cells
+on the problem channel.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classify import LoopSubtype
+from repro.core.pipeline import RunAnalysis
+
+
+def _normalise(counts: dict[int, int]) -> dict[int, float]:
+    total = sum(counts.values())
+    if total == 0:
+        return {channel: 0.0 for channel in counts}
+    return {channel: count / total for channel, count in counts.items()}
+
+
+def _problem_channels(analysis: RunAnalysis, use_nr: bool) -> set[int]:
+    """Channels of the problematic cells identified by classification."""
+    from repro.cells.cell import Rat
+
+    wanted = Rat.NR if use_nr else Rat.LTE
+    return {transition.problem_cell.channel
+            for transition in analysis.transitions
+            if transition.problem_cell is not None
+            and transition.problem_cell.rat is wanted}
+
+
+def channel_usage_breakdown(
+    analyses: list[RunAnalysis],
+    use_nr: bool = True,
+) -> dict[str, dict[int, float]]:
+    """Per-channel usage shares for no-loop runs, loop runs, and each sub-type.
+
+    Matching the paper's Table 5 construction: a *no-loop* run
+    contributes one incidence per serving channel (all channels "evenly
+    observed"); a *loop* run pivots on the channel(s) of its problematic
+    cell(s) — which is what makes the problem channel dominate the loop
+    column.  Each category's shares sum to 1.
+    """
+    counts: dict[str, dict[int, int]] = defaultdict(lambda: defaultdict(int))
+    for analysis in analyses:
+        if analysis.has_loop:
+            channels = _problem_channels(analysis, use_nr)
+            if not channels:
+                channels = (analysis.serving_nr_channels if use_nr
+                            else analysis.serving_lte_channels)
+            for category in ("loop", analysis.subtype.value):
+                for channel in channels:
+                    counts[category][channel] += 1
+        else:
+            channels = (analysis.serving_nr_channels if use_nr
+                        else analysis.serving_lte_channels)
+            for channel in channels:
+                counts["no-loop"][channel] += 1
+    return {category: _normalise(dict(channel_counts))
+            for category, channel_counts in counts.items()}
+
+
+@dataclass(frozen=True)
+class ModFailureStats:
+    """SCell modification attempts/failures on one channel (Table 5)."""
+
+    channel: int
+    attempts: int
+    failures: int
+
+    @property
+    def failure_ratio(self) -> float:
+        if self.attempts == 0:
+            return 0.0
+        return self.failures / self.attempts
+
+
+def scell_mod_failure_ratios(analyses: list[RunAnalysis]) -> dict[int, ModFailureStats]:
+    """Per-channel SCell modification failure ratio (Table 5, last column)."""
+    attempts: dict[int, int] = defaultdict(int)
+    failures: dict[int, int] = defaultdict(int)
+    for analysis in analyses:
+        for outcome in analysis.scell_mods:
+            attempts[outcome.channel] += 1
+            if outcome.failed:
+                failures[outcome.channel] += 1
+    return {channel: ModFailureStats(channel, attempts[channel], failures[channel])
+            for channel in attempts}
+
+
+def tenth_percentile_rsrp_per_location(
+    analyses: list[RunAnalysis], channel: int,
+) -> dict[str, float]:
+    """The 10th-percentile serving RSRP on one channel, per test location.
+
+    Figure 17a plots the CDF of these values across locations.
+    """
+    samples: dict[str, list[float]] = defaultdict(list)
+    for analysis in analyses:
+        values = analysis.serving_nr_rsrp.get(channel)
+        if values:
+            samples[analysis.metadata.location].extend(values)
+    return {location: float(np.percentile(values, 10))
+            for location, values in samples.items() if values}
+
+
+def median_rsrp_per_area(analyses: list[RunAnalysis],
+                         channel: int) -> dict[str, float]:
+    """Median serving RSRP on one channel per area (Figure 17b)."""
+    samples: dict[str, list[float]] = defaultdict(list)
+    for analysis in analyses:
+        values = analysis.serving_nr_rsrp.get(channel)
+        if values:
+            samples[analysis.metadata.area].extend(values)
+    return {area: float(np.median(values)) for area, values in samples.items()}
+
+
+def median_rsrp_per_subtype(analyses: list[RunAnalysis],
+                            channel: int) -> dict[str, float]:
+    """Median serving RSRP on one channel per loop sub-type + no-loop (Fig 17c)."""
+    samples: dict[str, list[float]] = defaultdict(list)
+    for analysis in analyses:
+        values = analysis.serving_nr_rsrp.get(channel)
+        if not values:
+            continue
+        key = analysis.subtype.value if analysis.has_loop else "no-loop"
+        samples[key].extend(values)
+    return {key: float(np.median(values)) for key, values in samples.items()}
+
+
+def nsa_channel_usage(
+    analyses: list[RunAnalysis],
+    subtype: LoopSubtype,
+    use_nr: bool,
+) -> dict[str, dict[int, float]]:
+    """Figure 18: channel usage in runs of one NSA loop sub-type vs no-loop."""
+    loop_counts: dict[int, int] = defaultdict(int)
+    no_loop_counts: dict[int, int] = defaultdict(int)
+    for analysis in analyses:
+        if analysis.has_loop and analysis.subtype is subtype:
+            channels = _problem_channels(analysis, use_nr)
+            if not channels:
+                channels = (analysis.serving_nr_channels if use_nr
+                            else analysis.serving_lte_channels)
+            for channel in channels:
+                loop_counts[channel] += 1
+        elif not analysis.has_loop:
+            channels = (analysis.serving_nr_channels if use_nr
+                        else analysis.serving_lte_channels)
+            for channel in channels:
+                no_loop_counts[channel] += 1
+    return {subtype.value: _normalise(dict(loop_counts)),
+            "no-loop": _normalise(dict(no_loop_counts))}

@@ -1,0 +1,123 @@
+"""5G ON-OFF loop detection (Figure 4).
+
+A loop exists when a subsequence of serving cell sets containing both a
+5G-ON and a 5G-OFF set repeats twice or more.  The loop is *persistent*
+if the run ends inside the loop (the final cell set belongs to the loop
+subsequence) and *semi-persistent* if the sequence later leaves the
+loop.
+
+Detection scans the deduplicated cell set sequence for the earliest,
+shortest periodic block; the reported block is rotated to the canonical
+phase (starting at a 5G-ON set that follows a 5G-OFF one), matching the
+paper's "starts with 5G ON, ends with 5G OFF" presentation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.cellset import CellSet, CellSetInterval
+
+
+class LoopKind(enum.Enum):
+    """Outcome of loop detection for one run (Figure 4's I / II-P / II-SP)."""
+
+    NO_LOOP = "I"
+    PERSISTENT = "II-P"
+    SEMI_PERSISTENT = "II-SP"
+
+    @property
+    def is_loop(self) -> bool:
+        return self is not LoopKind.NO_LOOP
+
+
+@dataclass(frozen=True)
+class LoopDetection:
+    """The result of loop detection on one cell set sequence.
+
+    Attributes:
+        kind: no-loop / persistent / semi-persistent.
+        start_index: index (into the deduplicated sequence) where the
+            periodic region begins.
+        period: length of the repeating block.
+        repetitions: how many complete times the block repeats.
+        block: the canonical (ON-first) rotation of the repeating block.
+    """
+
+    kind: LoopKind
+    start_index: int = -1
+    period: int = 0
+    repetitions: int = 0
+    block: tuple[CellSet, ...] = ()
+
+    @property
+    def is_loop(self) -> bool:
+        return self.kind.is_loop
+
+
+def dedup_sequence(intervals: list[CellSetInterval]) -> list[CellSet]:
+    """The cell set sequence with consecutive duplicates merged."""
+    sequence: list[CellSet] = []
+    for interval in intervals:
+        if not sequence or sequence[-1] != interval.cellset:
+            sequence.append(interval.cellset)
+    return sequence
+
+
+def _block_has_both_states(block: list[CellSet]) -> bool:
+    has_on = any(cellset.five_g_on for cellset in block)
+    has_off = any(not cellset.five_g_on for cellset in block)
+    return has_on and has_off
+
+
+def _canonical_rotation(block: list[CellSet]) -> tuple[CellSet, ...]:
+    """Rotate the block to start at an ON set preceded (cyclically) by OFF."""
+    n = len(block)
+    for shift in range(n):
+        first = block[shift]
+        previous = block[(shift - 1) % n]
+        if first.five_g_on and not previous.five_g_on:
+            return tuple(block[shift:] + block[:shift])
+    return tuple(block)
+
+
+def _count_repetitions(sequence: list[CellSet], start: int, period: int) -> int:
+    """Complete repetitions of sequence[start:start+period] from ``start``."""
+    block = sequence[start:start + period]
+    repetitions = 0
+    position = start
+    while position + period <= len(sequence) and \
+            sequence[position:position + period] == block:
+        repetitions += 1
+        position += period
+    return repetitions
+
+
+def detect_loop(intervals: list[CellSetInterval],
+                min_repetitions: int = 2) -> LoopDetection:
+    """Detect a 5G ON-OFF loop in a cell set interval sequence.
+
+    Scans for the earliest start index, then the shortest period, whose
+    block repeats at least ``min_repetitions`` times and visits both 5G
+    states.  Persistence follows the paper's rule: the run's final cell
+    set must belong to the loop subsequence.
+    """
+    sequence = dedup_sequence(intervals)
+    n = len(sequence)
+    for start in range(n):
+        max_period = (n - start) // min_repetitions
+        for period in range(2, max_period + 1):
+            block = sequence[start:start + period]
+            if not _block_has_both_states(block):
+                continue
+            repetitions = _count_repetitions(sequence, start, period)
+            if repetitions < min_repetitions:
+                continue
+            block_set = set(block)
+            persistent = sequence[-1] in block_set
+            kind = LoopKind.PERSISTENT if persistent else LoopKind.SEMI_PERSISTENT
+            return LoopDetection(kind=kind, start_index=start, period=period,
+                                 repetitions=repetitions,
+                                 block=_canonical_rotation(block))
+    return LoopDetection(kind=LoopKind.NO_LOOP)

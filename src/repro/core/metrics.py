@@ -1,0 +1,134 @@
+"""Performance metrics of loops (sections 4.2-4.3, Figures 10, 11, 19).
+
+From a run's cell set timeline and throughput capture we derive:
+
+* the ON-OFF **cycles**: (ON duration, OFF duration) pairs, giving cycle
+  time, OFF time and OFF ratio (Figure 10);
+* the **download speed** during ON and OFF periods and the per-cycle
+  speed loss (Figures 1b and 11);
+* the **5G measurement recovery delay** after an SCG failure — how long
+  until the next measurement report contains any 5G cell (Figure 19c,
+  the OP_V 30-second-multiple behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cells.cell import Rat
+from repro.core.cellset import CellSetInterval, five_g_timeline
+from repro.traces.records import MeasurementReportRecord, Record, ScgFailureRecord
+
+
+@dataclass(frozen=True)
+class CycleMetrics:
+    """One ON-OFF cycle of a loop."""
+
+    on_s: float
+    off_s: float
+
+    @property
+    def cycle_s(self) -> float:
+        return self.on_s + self.off_s
+
+    @property
+    def off_ratio(self) -> float:
+        if self.cycle_s <= 0:
+            return 0.0
+        return self.off_s / self.cycle_s
+
+
+def loop_cycles(intervals: list[CellSetInterval]) -> list[CycleMetrics]:
+    """Extract every complete ON-then-OFF cycle from the 5G timeline."""
+    segments = five_g_timeline(intervals)
+    cycles: list[CycleMetrics] = []
+    for index in range(len(segments) - 1):
+        on_segment = segments[index]
+        off_segment = segments[index + 1]
+        if on_segment[0] and not off_segment[0]:
+            cycles.append(CycleMetrics(on_s=on_segment[2] - on_segment[1],
+                                       off_s=off_segment[2] - off_segment[1]))
+    return cycles
+
+
+def _is_on_at(segments: list[tuple[bool, float, float]], t: float) -> bool:
+    for on, start, end in segments:
+        if start <= t < end:
+            return on
+    return bool(segments and segments[-1][0] and t >= segments[-1][2])
+
+
+@dataclass
+class RunPerformance:
+    """Speed statistics of one run split by 5G state."""
+
+    on_speed_samples: list[float] = field(default_factory=list)
+    off_speed_samples: list[float] = field(default_factory=list)
+    cycle_speed_losses: list[float] = field(default_factory=list)
+
+    @property
+    def median_on_mbps(self) -> float:
+        if not self.on_speed_samples:
+            return 0.0
+        return float(np.median(self.on_speed_samples))
+
+    @property
+    def median_off_mbps(self) -> float:
+        if not self.off_speed_samples:
+            return 0.0
+        return float(np.median(self.off_speed_samples))
+
+    @property
+    def median_speed_loss_mbps(self) -> float:
+        if not self.cycle_speed_losses:
+            return max(self.median_on_mbps - self.median_off_mbps, 0.0)
+        return float(np.median(self.cycle_speed_losses))
+
+
+def run_performance(intervals: list[CellSetInterval],
+                    throughput_series: list[tuple[float, float]]) -> RunPerformance:
+    """Split the 1 Hz speed series by 5G state and compute per-cycle losses."""
+    segments = five_g_timeline(intervals)
+    performance = RunPerformance()
+    if not segments or not throughput_series:
+        return performance
+    for t, mbps in throughput_series:
+        if _is_on_at(segments, t):
+            performance.on_speed_samples.append(mbps)
+        else:
+            performance.off_speed_samples.append(mbps)
+    # Per-cycle loss: median ON speed minus median OFF speed inside each
+    # consecutive (ON, OFF) segment pair.
+    for index in range(len(segments) - 1):
+        on_segment = segments[index]
+        off_segment = segments[index + 1]
+        if not (on_segment[0] and not off_segment[0]):
+            continue
+        on_speeds = [mbps for t, mbps in throughput_series
+                     if on_segment[1] <= t < on_segment[2]]
+        off_speeds = [mbps for t, mbps in throughput_series
+                      if off_segment[1] <= t < off_segment[2]]
+        if on_speeds and off_speeds:
+            loss = float(np.median(on_speeds)) - float(np.median(off_speeds))
+            performance.cycle_speed_losses.append(loss)
+    return performance
+
+
+def scg_measurement_delays(records: list[Record]) -> list[float]:
+    """Delay from each SCG failure to the next report containing a 5G cell."""
+    delays: list[float] = []
+    failures = [record for record in records if isinstance(record, ScgFailureRecord)]
+    reports = [record for record in records
+               if isinstance(record, MeasurementReportRecord)]
+    for failure in failures:
+        for report in reports:
+            if report.time_s <= failure.time_s:
+                continue
+            has_nr = any(measurement.identity.rat is Rat.NR
+                         for measurement in report.measurements)
+            if has_nr:
+                delays.append(report.time_s - failure.time_s)
+                break
+    return delays

@@ -1,0 +1,156 @@
+"""End-to-end analysis of one run: trace -> RunAnalysis.
+
+``analyze_trace`` is the single entry point the campaign harness and the
+benchmarks use: it replays the signaling records into cell set
+intervals, runs loop detection and classification, computes performance
+metrics, and gathers the bookkeeping statistics (unique cells, cell
+sets, RSRP sample counts, SCell modification outcomes) that feed
+Table 3, Table 5 and Figures 17-19.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cells.cell import CellIdentity, Rat
+from repro.core.cellset import CellSet, CellSetInterval, extract_cellset_sequence
+from repro.core.classify import LoopSubtype, OffTransition, classify_loop
+from repro.core.loops import LoopDetection, LoopKind, detect_loop
+from repro.core.metrics import (
+    CycleMetrics,
+    RunPerformance,
+    loop_cycles,
+    run_performance,
+    scg_measurement_delays,
+)
+from repro.traces.log import SignalingTrace, TraceMetadata
+from repro.traces.records import (
+    MeasurementReportRecord,
+    MmStateRecord,
+    RrcReconfigurationRecord,
+)
+
+
+@dataclass(frozen=True)
+class ScellModOutcome:
+    """One SCell modification attempt: the added cell's channel + outcome."""
+
+    channel: int
+    failed: bool
+
+
+@dataclass
+class RunAnalysis:
+    """Everything the paper's figures need to know about one run."""
+
+    metadata: TraceMetadata
+    intervals: list[CellSetInterval]
+    detection: LoopDetection
+    subtype: LoopSubtype
+    transitions: list[OffTransition]
+    cycles: list[CycleMetrics]
+    performance: RunPerformance
+    scg_meas_delays: list[float]
+    scell_mods: list[ScellModOutcome]
+    serving_nr_channels: set[int] = field(default_factory=set)
+    serving_lte_channels: set[int] = field(default_factory=set)
+    observed_cells: set[CellIdentity] = field(default_factory=set)
+    unique_cellsets: set[CellSet] = field(default_factory=set)
+    n_rsrp_samples: int = 0
+    n_cs_samples: int = 0
+    duration_s: float = 0.0
+    # RSRP of serving cells per NR channel (for the Figure 17 analysis).
+    serving_nr_rsrp: dict[int, list[float]] = field(default_factory=dict)
+
+    @property
+    def has_loop(self) -> bool:
+        return self.detection.is_loop
+
+    @property
+    def loop_kind(self) -> LoopKind:
+        return self.detection.kind
+
+
+def _scell_modification_outcomes(trace: SignalingTrace) -> list[ScellModOutcome]:
+    """Find SCell modifications and whether each was followed by the exception."""
+    records = trace.signaling_records()
+    outcomes: list[ScellModOutcome] = []
+    for index, record in enumerate(records):
+        if not isinstance(record, RrcReconfigurationRecord):
+            continue
+        if record.is_handover or record.adds_scg or record.release_scg:
+            continue
+        if not (record.scell_add_mod and record.scell_release_indices):
+            continue
+        failed = False
+        for later in records[index + 1:]:
+            if later.time_s > record.time_s + 1.5:
+                break
+            if isinstance(later, MmStateRecord) and later.state == "DEREGISTERED":
+                failed = True
+                break
+        for entry in record.scell_add_mod:
+            outcomes.append(ScellModOutcome(channel=entry.identity.channel,
+                                            failed=failed))
+    return outcomes
+
+
+def _collect_measurement_stats(trace: SignalingTrace,
+                               analysis: RunAnalysis) -> None:
+    """Tally observed cells, RSRP samples, and per-channel serving RSRP."""
+    serving_now: set[CellIdentity] = set()
+    interval_index = 0
+    intervals = analysis.intervals
+    for record in trace.signaling_records():
+        if not isinstance(record, MeasurementReportRecord):
+            continue
+        while interval_index < len(intervals) - 1 and \
+                intervals[interval_index].end_s <= record.time_s:
+            interval_index += 1
+        serving_now = intervals[interval_index].cellset.all_cells() \
+            if intervals else set()
+        for measurement in record.measurements:
+            analysis.observed_cells.add(measurement.identity)
+            analysis.n_rsrp_samples += 1
+            identity = measurement.identity
+            if identity.rat is Rat.NR and identity in serving_now:
+                analysis.serving_nr_rsrp.setdefault(identity.channel, []).append(
+                    measurement.rsrp_dbm)
+
+
+def analyze_trace(trace: SignalingTrace) -> RunAnalysis:
+    """Run the full analysis pipeline on one signaling trace."""
+    records = trace.signaling_records()
+    end_time = trace.records[-1].time_s if trace.records else 0.0
+    intervals = extract_cellset_sequence(records, end_time_s=end_time)
+    detection = detect_loop(intervals)
+    if detection.is_loop:
+        subtype, transitions = classify_loop(records, intervals)
+    else:
+        subtype, transitions = LoopSubtype.UNKNOWN, []
+    cycles = loop_cycles(intervals) if detection.is_loop else []
+    performance = run_performance(intervals, trace.throughput_series())
+
+    analysis = RunAnalysis(
+        metadata=trace.metadata,
+        intervals=intervals,
+        detection=detection,
+        subtype=subtype,
+        transitions=transitions,
+        cycles=cycles,
+        performance=performance,
+        scg_meas_delays=scg_measurement_delays(records),
+        scell_mods=_scell_modification_outcomes(trace),
+        duration_s=trace.duration_s,
+        n_cs_samples=len(intervals),
+    )
+    for interval in intervals:
+        analysis.unique_cellsets.add(interval.cellset)
+        for cell in interval.cellset.all_cells():
+            analysis.observed_cells.add(cell)
+            if cell.rat is Rat.NR:
+                analysis.serving_nr_channels.add(cell.channel)
+            else:
+                analysis.serving_lte_channels.add(cell.channel)
+    _collect_measurement_stats(trace, analysis)
+    return analysis

@@ -1,0 +1,32 @@
+"""Radio environment substrate.
+
+Replaces the physical world of the measurement study: cells deployed
+over a geographic area, a propagation model producing spatially
+correlated RSRP/RSRQ fields, and per-operator synthetic deployments for
+the paper's 11 test areas.
+"""
+
+from repro.radio.geometry import Area, Point, distance_m, grid_points
+from repro.radio.propagation import (
+    PropagationModel,
+    ShadowingField,
+    free_space_path_loss_db,
+    log_distance_path_loss_db,
+)
+from repro.radio.environment import CellObservation, RadioEnvironment
+from repro.radio.deployment import AreaDeployment, build_area_deployment
+
+__all__ = [
+    "Area",
+    "AreaDeployment",
+    "CellObservation",
+    "Point",
+    "PropagationModel",
+    "RadioEnvironment",
+    "ShadowingField",
+    "build_area_deployment",
+    "distance_m",
+    "free_space_path_loss_db",
+    "grid_points",
+    "log_distance_path_loss_db",
+]

@@ -1,0 +1,105 @@
+"""The radio environment: deployed cells + propagation -> observations.
+
+A :class:`RadioEnvironment` is the single source of radio truth for a
+simulation: given a location, a time tick and a run seed it produces the
+set of :class:`CellObservation` values (RSRP/RSRQ per deployed cell)
+that the UE's measurement machinery then filters and reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.cell import CellIdentity, DeployedCell, Rat
+from repro.radio.geometry import Point
+from repro.radio.propagation import PropagationModel
+
+
+@dataclass(frozen=True)
+class CellObservation:
+    """One cell as seen from one location at one instant."""
+
+    cell: DeployedCell
+    rsrp_dbm: float
+    rsrq_db: float
+    measurable: bool
+
+    @property
+    def identity(self) -> CellIdentity:
+        return self.cell.identity
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.identity.notation}: {self.rsrp_dbm:.1f} dBm / {self.rsrq_db:.1f} dB"
+
+
+class RadioEnvironment:
+    """All deployed cells of one operator in one area, plus propagation.
+
+    The environment is immutable after construction; per-run variation
+    comes from the ``run_seed`` passed to :meth:`observe`.
+    """
+
+    def __init__(self, cells: list[DeployedCell], propagation: PropagationModel) -> None:
+        identities = [cell.identity for cell in cells]
+        if len(set(identities)) != len(identities):
+            raise ValueError("duplicate cell identities in deployment")
+        self._cells = list(cells)
+        self._by_identity = {cell.identity: cell for cell in cells}
+        self.propagation = propagation
+
+    @property
+    def cells(self) -> list[DeployedCell]:
+        return list(self._cells)
+
+    def cells_of_rat(self, rat: Rat) -> list[DeployedCell]:
+        return [cell for cell in self._cells if cell.rat is rat]
+
+    def cells_on_channel(self, channel: int, rat: Rat) -> list[DeployedCell]:
+        return [cell for cell in self._cells
+                if cell.channel == channel and cell.rat is rat]
+
+    def channels_of_rat(self, rat: Rat) -> list[int]:
+        return sorted({cell.channel for cell in self._cells if cell.rat is rat})
+
+    def cell(self, identity: CellIdentity) -> DeployedCell:
+        try:
+            return self._by_identity[identity]
+        except KeyError:
+            raise KeyError(f"cell {identity.notation} not deployed") from None
+
+    def has_cell(self, identity: CellIdentity) -> bool:
+        return identity in self._by_identity
+
+    def observe_cell(self, cell: DeployedCell, point: Point, tick: int,
+                     run_seed: int) -> CellObservation:
+        """Observe a single cell from a location at one tick of a run."""
+        rsrp = self.propagation.rsrp_dbm(cell, point, tick, run_seed)
+        rsrq = self.propagation.rsrq_db(rsrp, cell.interference_margin_db)
+        return CellObservation(cell=cell, rsrp_dbm=rsrp, rsrq_db=rsrq,
+                               measurable=self.propagation.is_measurable(rsrp))
+
+    def observe(self, point: Point, tick: int, run_seed: int,
+                rat: Rat | None = None) -> list[CellObservation]:
+        """Observe every deployed cell (optionally of one RAT), strongest first."""
+        cells = self._cells if rat is None else self.cells_of_rat(rat)
+        observations = [self.observe_cell(cell, point, tick, run_seed) for cell in cells]
+        observations.sort(key=lambda obs: obs.rsrp_dbm, reverse=True)
+        return observations
+
+    def strongest(self, point: Point, tick: int, run_seed: int,
+                  rat: Rat, measurable_only: bool = True) -> CellObservation | None:
+        """The strongest (by RSRP) observation of one RAT, or None."""
+        for observation in self.observe(point, tick, run_seed, rat):
+            if observation.measurable or not measurable_only:
+                return observation
+        return None
+
+    def mean_rsrp_map(self, cell_identity: CellIdentity,
+                      points: list[Point]) -> list[float]:
+        """Location-mean RSRP of one cell over many points (no fading).
+
+        Used by the section 6 spatial analysis to build RSRP fields
+        (Figure 20c/20d) without simulating runs.
+        """
+        cell = self.cell(cell_identity)
+        return [self.propagation.mean_rsrp_dbm(cell, point) for point in points]

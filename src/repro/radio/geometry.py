@@ -1,0 +1,95 @@
+"""Planar geometry helpers for test areas and locations.
+
+Test areas in the paper (A1..A11) are 1-2.9 km^2 polygons; we model each
+as an axis-aligned rectangle in a local metric coordinate frame, which
+is accurate at this scale and keeps distance math trivial.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A location in the local metric frame (metres east/north of origin)."""
+
+    x_m: float
+    y_m: float
+
+    def distance_to(self, other: "Point") -> float:
+        return math.hypot(self.x_m - other.x_m, self.y_m - other.y_m)
+
+    def offset(self, dx_m: float, dy_m: float) -> "Point":
+        return Point(self.x_m + dx_m, self.y_m + dy_m)
+
+    def as_tuple(self) -> tuple[float, float]:
+        return (self.x_m, self.y_m)
+
+
+def distance_m(a: Point | tuple[float, float], b: Point | tuple[float, float]) -> float:
+    """Euclidean distance between two points given as Points or tuples."""
+    ax, ay = a.as_tuple() if isinstance(a, Point) else a
+    bx, by = b.as_tuple() if isinstance(b, Point) else b
+    return math.hypot(ax - bx, ay - by)
+
+
+@dataclass(frozen=True)
+class Area:
+    """A rectangular test area.
+
+    Attributes:
+        name: e.g. ``"A1"``.
+        width_m / height_m: extent of the rectangle.
+    """
+
+    name: str
+    width_m: float
+    height_m: float
+
+    @property
+    def size_km2(self) -> float:
+        return self.width_m * self.height_m / 1e6
+
+    @property
+    def centre(self) -> Point:
+        return Point(self.width_m / 2.0, self.height_m / 2.0)
+
+    def contains(self, point: Point) -> bool:
+        return 0.0 <= point.x_m <= self.width_m and 0.0 <= point.y_m <= self.height_m
+
+    def clamp(self, point: Point) -> Point:
+        """Project a point onto the area rectangle."""
+        x = min(max(point.x_m, 0.0), self.width_m)
+        y = min(max(point.y_m, 0.0), self.height_m)
+        return Point(x, y)
+
+
+def grid_points(area: Area, spacing_m: float, margin_m: float = 0.0) -> Iterator[Point]:
+    """Yield a regular grid of points covering an area.
+
+    Used for dense spatial analysis (section 6) and deployment layout.
+    """
+    if spacing_m <= 0:
+        raise ValueError("spacing must be positive")
+    x = margin_m
+    while x <= area.width_m - margin_m + 1e-9:
+        y = margin_m
+        while y <= area.height_m - margin_m + 1e-9:
+            yield Point(x, y)
+            y += spacing_m
+        x += spacing_m
+
+
+def bearing_deg(origin: Point, target: Point) -> float:
+    """Compass-style bearing from origin to target, degrees in [0, 360)."""
+    angle = math.degrees(math.atan2(target.x_m - origin.x_m, target.y_m - origin.y_m))
+    return angle % 360.0
+
+
+def angular_difference_deg(a: float, b: float) -> float:
+    """Smallest absolute angular difference between two bearings, in [0, 180]."""
+    diff = abs(a - b) % 360.0
+    return min(diff, 360.0 - diff)

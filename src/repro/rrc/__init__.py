@@ -1,0 +1,28 @@
+"""RRC protocol substrate.
+
+Models the 3GPP radio-resource-control machinery whose *inconsistent
+ON/OFF triggers* create the paper's loops: measurement report events
+(A2/A3/A5/B1), device capabilities, operator policies (channel-specific,
+per finding F14/F15), the UE- and network-side state machines, and the
+SA / NSA session simulators that bind them to a radio environment and
+emit signaling traces.
+"""
+
+from repro.rrc.events import EventConfig, a2_triggered, a3_triggered, b1_triggered
+from repro.rrc.capabilities import DeviceCapabilities
+from repro.rrc.policies import ChannelPolicy, OperatorPolicy
+from repro.rrc.session import NsaSession, RunConfig, SaSession, simulate_run
+
+__all__ = [
+    "ChannelPolicy",
+    "DeviceCapabilities",
+    "EventConfig",
+    "NsaSession",
+    "OperatorPolicy",
+    "RunConfig",
+    "SaSession",
+    "a2_triggered",
+    "a3_triggered",
+    "b1_triggered",
+    "simulate_run",
+]

@@ -1,0 +1,68 @@
+"""Device capability profiles.
+
+Section 4.4 of the paper traces the device dependence of the loops to a
+handful of capability differences between the six test phones:
+
+* whether the phone supports **carrier aggregation over 5G SA** at all
+  (OnePlus 10 Pro and Pixel 5 do not — single PCell, so no SCell-driven
+  S1 loops);
+* which **band the phone camps on** for its SA PCell (Samsung S23 and
+  OnePlus 13 end up on n71 instead of n41, so they never receive the
+  problematic n25 SCells);
+* the **RRC release / SCell configuration style**: OnePlus 12R
+  (RRC V16.6.0) receives downlink-only configuration for n25 SCells and
+  mishandles exceptional SCell states — the mechanism behind all three
+  S1 sub-types.  OnePlus 13R (V17.4.0) receives uplink+downlink
+  configuration with traffic feedback and is served a leaner 2-cell
+  4x4-MIMO set, avoiding the problem cells entirely;
+* whether the phone can use **5G NSA with a given operator** at all
+  (OnePlus 10 Pro is LTE-only on AT&T, reproducing F5's exception).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DeviceCapabilities:
+    """Capability model of one phone.
+
+    Attributes:
+        name: marketing name, e.g. ``"OnePlus 12R"``.
+        rrc_release: RRC feature release string, e.g. ``"V16.6.0"``.
+        sa_carrier_aggregation: supports SCells over 5G SA.
+        sa_band_preference: ordered NR band names for SA PCell camping;
+            the first deployed band in this list wins.
+        fragile_scell_bands: NR bands whose SCells the device handles
+            with downlink-only configuration and releases the whole MCG
+            on any SCell exception (the OnePlus 12R flaw).
+        max_sa_scells: how many SA SCells the network configures for
+            this device class.
+        mimo_layers: spatial layers (2 or 4); advanced devices get the
+            leaner high-MIMO configuration.
+        nsa_support: operators (names) with which the device can use 5G
+            NSA; None means "all".
+        nsg_supported: whether Network Signal Guru can capture RRC
+            signaling on this device (false for OnePlus 13 / S23;
+            affects only which analyses are possible, F6 case 3).
+    """
+
+    name: str
+    rrc_release: str = "V16.6.0"
+    sa_carrier_aggregation: bool = True
+    sa_band_preference: tuple[str, ...] = ("n41", "n25", "n71")
+    fragile_scell_bands: frozenset[str] = field(default_factory=frozenset)
+    max_sa_scells: int = 3
+    mimo_layers: int = 2
+    nsa_support: frozenset[str] | None = None
+    nsg_supported: bool = True
+
+    def supports_nsa_with(self, operator: str) -> bool:
+        if self.nsa_support is None:
+            return True
+        return operator in self.nsa_support
+
+    def handles_scell_band_fragile(self, band_name: str) -> bool:
+        """True if an SCell on this band uses the fragile downlink-only path."""
+        return band_name in self.fragile_scell_bands

@@ -1,0 +1,79 @@
+"""Measurement report trigger events (3GPP TS 38.331 / 36.331 section 5.5.4).
+
+The paper's loops hinge on four triggers:
+
+* **A2** — serving cell becomes worse than a threshold (used to release
+  weak serving cells; the prior-work A2-B1 loop of F12 arises when the
+  A2 release threshold sits *above* the B1 add threshold).
+* **A3** — neighbour becomes *offset* better than the serving cell
+  (drives SCell modification in S1E3 and the 4G handover ping-pong in
+  N2E1, where the offset is 6 dB on RSRQ).
+* **A5** — serving worse than threshold1 while neighbour better than
+  threshold2 (the N1E1 instance, Figure 30/31).
+* **B1** — inter-RAT neighbour becomes better than a threshold (the
+  *only* trigger that turns 5G back ON over NSA — hence the
+  inconsistency of F11: OFF is event/failure-driven, ON is B1-driven).
+
+Events evaluate instantaneous measurements; hysteresis and
+time-to-trigger are modelled by the callers' per-tick counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EventConfig:
+    """One configured report trigger.
+
+    Attributes:
+        event_id: "A2", "A3", "A5" or "B1".
+        channel: channel the event watches (0 = any).
+        threshold_dbm: absolute threshold for A2/A5/B1 (on the chosen
+            quantity; dBm for RSRP, dB for RSRQ).
+        offset_db: relative offset for A3.
+        quantity: "rsrp" or "rsrq".
+    """
+
+    event_id: str
+    channel: int = 0
+    threshold_dbm: float = -110.0
+    offset_db: float = 6.0
+    quantity: str = "rsrp"
+
+    def watches(self, channel: int) -> bool:
+        return self.channel == 0 or self.channel == channel
+
+    def as_tuple(self) -> tuple[str, int, float]:
+        """Compact form recorded in measConfig trace fields."""
+        value = self.offset_db if self.event_id == "A3" else self.threshold_dbm
+        return (self.event_id, self.channel, value)
+
+
+def a2_triggered(serving_value: float, config: EventConfig) -> bool:
+    """A2: serving becomes worse than threshold."""
+    if config.event_id != "A2":
+        raise ValueError(f"expected an A2 config, got {config.event_id}")
+    return serving_value < config.threshold_dbm
+
+
+def a3_triggered(serving_value: float, neighbour_value: float,
+                 config: EventConfig) -> bool:
+    """A3: neighbour becomes offset better than serving."""
+    if config.event_id != "A3":
+        raise ValueError(f"expected an A3 config, got {config.event_id}")
+    return neighbour_value > serving_value + config.offset_db
+
+
+def a5_triggered(serving_value: float, neighbour_value: float,
+                 threshold1_dbm: float, threshold2_dbm: float) -> bool:
+    """A5: serving worse than threshold1 and neighbour better than threshold2."""
+    return serving_value < threshold1_dbm and neighbour_value > threshold2_dbm
+
+
+def b1_triggered(neighbour_value: float, config: EventConfig) -> bool:
+    """B1: inter-RAT neighbour becomes better than threshold."""
+    if config.event_id != "B1":
+        raise ValueError(f"expected a B1 config, got {config.event_id}")
+    return neighbour_value > config.threshold_dbm

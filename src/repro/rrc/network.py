@@ -1,0 +1,254 @@
+"""Network-side (PCell) decision logic.
+
+The PCell "runs its local logic to determine whether and how to change
+the serving cell(s)" (section 5.1).  This module implements that logic
+for both deployment modes:
+
+* :class:`SaNetworkLogic` — OP_T-style 5G SA: blind SCell addition of
+  the co-sited cell set after setup, and A3-driven intra-channel SCell
+  modification.
+* :class:`NsaNetworkLogic` — OP_A / OP_V-style 5G NSA: RSRQ-A3 4G
+  handover selection with per-channel offsets, the "5G-disabled channel"
+  redirect, B1-driven SCG addition and A3-driven SCG change.
+
+All methods are pure decisions over the current tick's observations;
+executing the decision (and failing to execute it, which is where loops
+come from) is the session's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells.cell import CellIdentity, Rat
+from repro.radio.environment import CellObservation, RadioEnvironment
+from repro.radio.geometry import Point
+from repro.rrc.capabilities import DeviceCapabilities
+from repro.rrc.policies import OperatorPolicy
+
+
+@dataclass(frozen=True)
+class ScellModification:
+    """A decided SCell modification: release one index, add one cell."""
+
+    release_index: int
+    release_identity: CellIdentity
+    add_identity: CellIdentity
+
+
+@dataclass(frozen=True)
+class HandoverDecision:
+    """A decided 4G PCell handover."""
+
+    target: CellIdentity
+    keep_scg: bool
+    blind: bool  # True for the policy redirect (target never measured)
+
+
+def _strongest(observations: list[CellObservation]) -> CellObservation | None:
+    best: CellObservation | None = None
+    for observation in observations:
+        if best is None or observation.rsrp_dbm > best.rsrp_dbm:
+            best = observation
+    return best
+
+
+class SaNetworkLogic:
+    """OP_T's SA PCell logic."""
+
+    def __init__(self, environment: RadioEnvironment, policy: OperatorPolicy) -> None:
+        self._environment = environment
+        self._policy = policy
+
+    def blind_scell_set(self, pcell: CellIdentity,
+                        device: DeviceCapabilities) -> list[CellIdentity]:
+        """The SCells added ~3 s after setup, without UE measurements.
+
+        The network pairs the PCell with its co-sited twin on the other
+        PCell channel plus the nearest cell on each SCell channel — which
+        is how an *unmeasurable* cell can end up serving (S1E1).
+
+        Advanced devices (4 MIMO layers, V17 RRC) get the lean
+        configuration: only the co-sited twin, no downlink-only-channel
+        SCells (the OnePlus 13R behaviour of F6).
+        """
+        if not device.sa_carrier_aggregation:
+            return []
+        pcell_site = Point(*self._environment.cell(pcell).site_xy_m)
+        lean = device.mimo_layers >= 4
+        chosen: list[CellIdentity] = []
+        for channel in self._policy.sa_scell_channels:
+            if channel == pcell.channel:
+                continue
+            channel_policy = self._policy.channel_policy(channel, Rat.NR)
+            if not channel_policy.scell_eligible:
+                continue
+            if lean and channel_policy.downlink_only_scell_config:
+                continue
+            cells = self._environment.cells_on_channel(channel, Rat.NR)
+            if not cells:
+                continue
+            co_sited = [cell for cell in cells if cell.pci == pcell.pci]
+            if co_sited:
+                nearest = co_sited[0]
+            else:
+                nearest = min(cells, key=lambda cell:
+                              Point(*cell.site_xy_m).distance_to(pcell_site))
+            chosen.append(nearest.identity)
+            if len(chosen) >= (1 if lean else device.max_sa_scells):
+                break
+        return chosen
+
+    def scell_modification(
+        self,
+        serving_scells: dict[int, CellIdentity],
+        observations: dict[CellIdentity, CellObservation],
+    ) -> ScellModification | None:
+        """A3-driven intra-channel SCell replacement (at most one per tick).
+
+        For each serving SCell, if a same-channel neighbour measures
+        ``sa_scell_mod_a3_offset_db`` stronger, command the replacement —
+        the S1E3 trigger when the replacement then fails.
+        """
+        offset = self._policy.sa_scell_mod_a3_offset_db
+        for index in sorted(serving_scells):
+            serving = serving_scells[index]
+            serving_obs = observations.get(serving)
+            if serving_obs is None or not serving_obs.measurable:
+                continue
+            candidates = [
+                obs for identity, obs in observations.items()
+                if identity.channel == serving.channel
+                and identity.rat is Rat.NR
+                and identity != serving
+                and identity not in serving_scells.values()
+                and obs.measurable
+            ]
+            best = _strongest(candidates)
+            if best is None:
+                continue
+            if best.rsrp_dbm > serving_obs.rsrp_dbm + offset:
+                return ScellModification(release_index=index,
+                                         release_identity=serving,
+                                         add_identity=best.identity)
+        return None
+
+
+class NsaNetworkLogic:
+    """OP_A / OP_V's NSA (4G PCell) logic."""
+
+    def __init__(self, environment: RadioEnvironment, policy: OperatorPolicy) -> None:
+        self._environment = environment
+        self._policy = policy
+
+    def redirect_target(self, pcell: CellIdentity) -> CellIdentity | None:
+        """The blind redirect twin for a "5G-report" redirect, if configured.
+
+        OP_A's 5815 policy (F15): upon receiving any 5G measurement the
+        PCell hands the UE to the *same-PCI* cell on the redirect
+        channel, without a measurement of the target.
+        """
+        channel_policy = self._policy.channel_policy(pcell.channel, Rat.LTE)
+        redirect_channel = channel_policy.redirect_on_5g_report_to
+        if redirect_channel is None:
+            return None
+        twin = CellIdentity(pci=pcell.pci, channel=redirect_channel, rat=Rat.LTE)
+        if self._environment.has_cell(twin):
+            return twin
+        twins = self._environment.cells_on_channel(redirect_channel, Rat.LTE)
+        if not twins:
+            return None
+        pcell_site = Point(*self._environment.cell(pcell).site_xy_m)
+        nearest = min(twins, key=lambda cell:
+                      Point(*cell.site_xy_m).distance_to(pcell_site))
+        return nearest.identity
+
+    def handover_decision(
+        self,
+        pcell: CellIdentity,
+        observations: dict[CellIdentity, CellObservation],
+        saw_5g_report: bool,
+        scg_active: bool,
+    ) -> HandoverDecision | None:
+        """Pick a 4G handover target, if any trigger fires.
+
+        The policy redirect takes precedence (it fires "immediately" per
+        F15); otherwise the per-target-channel RSRQ A3 applies, with the
+        asymmetric offsets that produce the N2E1 ping-pong.
+        """
+        if saw_5g_report:
+            redirect = self.redirect_target(pcell)
+            if redirect is not None:
+                redirect_policy = self._policy.channel_policy(redirect.channel, Rat.LTE)
+                keep = (scg_active and redirect_policy.allows_scg
+                        and not redirect_policy.drops_scg_on_entry)
+                return HandoverDecision(target=redirect, keep_scg=keep, blind=True)
+
+        serving_obs = observations.get(pcell)
+        if serving_obs is None:
+            return None
+        best_target: CellIdentity | None = None
+        best_margin = 0.0
+        for identity, observation in observations.items():
+            if identity == pcell or identity.rat is not Rat.LTE:
+                continue
+            if not observation.measurable:
+                continue
+            offset = self._policy.channel_policy(identity.channel,
+                                                 Rat.LTE).handover_a3_offset_db
+            margin = observation.rsrq_db - (serving_obs.rsrq_db + offset)
+            if margin > best_margin:
+                best_margin = margin
+                best_target = identity
+        if best_target is None:
+            return None
+        target_policy = self._policy.channel_policy(best_target.channel, Rat.LTE)
+        keep_scg = (scg_active and target_policy.allows_scg
+                    and not target_policy.drops_scg_on_entry)
+        return HandoverDecision(target=best_target, keep_scg=keep_scg, blind=False)
+
+    def scg_addition(
+        self,
+        pcell: CellIdentity,
+        nr_observations: dict[CellIdentity, CellObservation],
+    ) -> tuple[CellIdentity, list[CellIdentity]] | None:
+        """B1-driven SCG addition: strongest qualifying NR cell as PSCell.
+
+        A co-sited NR cell on a second 5G channel, if deployed, is added
+        as the SCG SCell (matching the paired SCG cells of Figures
+        30-33, e.g. ``66@632736+66@658080``).
+        """
+        if not self._policy.scg_allowed_on(pcell.channel):
+            return None
+        qualifying = [obs for obs in nr_observations.values()
+                      if obs.measurable
+                      and obs.rsrp_dbm > self._policy.nsa_b1_threshold_dbm]
+        best = _strongest(qualifying)
+        if best is None:
+            return None
+        pscell = best.identity
+        partners = [identity for identity in nr_observations
+                    if identity.pci == pscell.pci
+                    and identity.channel != pscell.channel
+                    and nr_observations[identity].measurable]
+        partners.sort(key=lambda identity: nr_observations[identity].rsrp_dbm,
+                      reverse=True)
+        return pscell, partners[:1]
+
+    def scg_change(
+        self,
+        pscell: CellIdentity,
+        nr_observations: dict[CellIdentity, CellObservation],
+    ) -> CellIdentity | None:
+        """A3-driven PSCell change (the N2E2 trigger when it then fails)."""
+        serving_obs = nr_observations.get(pscell)
+        if serving_obs is None or not serving_obs.measurable:
+            return None
+        candidates = [obs for identity, obs in nr_observations.items()
+                      if identity != pscell and obs.measurable]
+        best = _strongest(candidates)
+        if best is None:
+            return None
+        if best.rsrp_dbm > serving_obs.rsrp_dbm + self._policy.nsa_scg_a3_offset_db:
+            return best.identity
+        return None

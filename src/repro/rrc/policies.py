@@ -1,0 +1,120 @@
+"""Operator policy engine.
+
+Finding F14/F15: RRC policies in the measured networks are
+*channel-specific*, not cell-specific, and a handful of channels carry
+the policies that create loops:
+
+* OP_T 5G channel **387410** (n25, 10 MHz): SCells on it are configured
+  downlink-only for RRC-V16 devices, whose modems release the whole MCG
+  on any SCell exception (S1E1/S1E2/S1E3).
+* OP_A 4G channel **5815** (band 17): "5G-disabled" — a PCell on it
+  never keeps an SCG but still configures 5G measurement; on the first
+  5G report the network redirects the UE to the same-PCI twin cell on
+  channel 5145 *without measuring it* (N2E1, and N1E1/N1E2 when the
+  twin is weak).
+* OP_V 4G channel **5230** (band 13): allowed to work with 5G, but a
+  handover onto it omits spCellConfig, releasing the SCG for a transient
+  moment (the sub-second OFF times of OP_V's N2E1 instances).
+
+:class:`OperatorPolicy` bundles the per-channel policies with the
+operator-wide thresholds (selection, B1, A3 offsets, failure detection,
+SCG recovery cadence) that the session simulators consult.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cells.cell import Rat
+
+
+@dataclass(frozen=True)
+class ChannelPolicy:
+    """Channel-specific policy knobs.
+
+    Attributes:
+        channel: the EARFCN / NR-ARFCN this policy applies to.
+        rat: which RAT the channel carries.
+        allows_scg: (4G channels) whether a PCell on this channel may
+            hold a 5G SCG.  False reproduces OP_A's 5815 policy.
+        drops_scg_on_entry: (4G channels) a handover to this channel
+            omits spCellConfig and therefore releases any active SCG.
+            True reproduces OP_V's 5230 policy.
+        redirect_on_5g_report_to: (4G channels) if set, the first 5G
+            measurement report received while camped on this channel
+            triggers an immediate blind handover to the same-PCI cell on
+            the given channel (OP_A: 5815 -> 5145).
+        handover_a3_offset_db: RSRQ offset for the A3 event that hands
+            over *to* this channel.  The low-band problem channels use
+            the aggressive 6 dB offset, everything else 10 dB
+            (Figure 32's measConfig) — the asymmetry behind the N2E1
+            ping-pong.
+        scell_eligible: (5G channels) whether the channel's cells may be
+            added as SA SCells.
+        downlink_only_scell_config: (5G channels) SCells on this channel
+            are configured downlink-only for non-advanced devices — the
+            fragile path of the OnePlus 12R.
+        scell_mod_fragile: (5G channels) SCell *modifications* adding a
+            cell on this channel fail on the fragile device path.  In
+            the measured network only 387410 shows this (12.3% failure
+            ratio vs ~1% elsewhere, Table 5).
+    """
+
+    channel: int
+    rat: Rat
+    allows_scg: bool = True
+    drops_scg_on_entry: bool = False
+    redirect_on_5g_report_to: int | None = None
+    handover_a3_offset_db: float = 10.0
+    scell_eligible: bool = True
+    downlink_only_scell_config: bool = False
+    scell_mod_fragile: bool = False
+
+
+@dataclass
+class OperatorPolicy:
+    """All RRC policy of one operator, as inferred in section 5.
+
+    The defaults are the values the paper reports from decoded
+    measConfig messages (selection threshold -108 dBm, A3 offset 6 dB,
+    A2 release threshold -156 dBm i.e. effectively never, B1 around
+    -115 dBm).
+    """
+
+    name: str
+    mode: str = "SA"
+    sa_pcell_channels: tuple[int, ...] = ()
+    sa_scell_channels: tuple[int, ...] = ()
+    lte_channels: tuple[int, ...] = ()
+    nr_channels: tuple[int, ...] = ()
+    selection_threshold_dbm: float = -108.0
+    sa_scell_mod_a3_offset_db: float = 6.0
+    sa_scell_mod_exec_margin_db: float = 6.0
+    sa_blind_scell_addition_delay_s: float = 3.0
+    a2_release_threshold_dbm: float = -156.0
+    nsa_b1_threshold_dbm: float = -115.0
+    nsa_scg_a3_offset_db: float = 5.0
+    nsa_scg_a2_threshold_dbm: float = -116.0
+    scg_ra_failure_threshold_dbm: float = -112.0
+    rlf_rsrp_threshold_dbm: float = -121.0
+    rlf_time_to_trigger_s: int = 4
+    handover_failure_threshold_dbm: float = -118.0
+    scg_recovery_config_period_s: float = 0.0
+    idle_reselection_delay_s: float = 10.5
+    legacy_a2b1: bool = False
+    legacy_a2_threshold_dbm: float = -110.0
+    channel_policies: dict[int, ChannelPolicy] = field(default_factory=dict)
+
+    def channel_policy(self, channel: int, rat: Rat) -> ChannelPolicy:
+        """The policy for a channel, defaulting to a permissive one."""
+        policy = self.channel_policies.get(channel)
+        if policy is not None and policy.rat is rat:
+            return policy
+        return ChannelPolicy(channel=channel, rat=rat)
+
+    def scg_allowed_on(self, lte_channel: int) -> bool:
+        return self.channel_policy(lte_channel, Rat.LTE).allows_scg
+
+    @property
+    def is_sa(self) -> bool:
+        return self.mode == "SA"

@@ -1,0 +1,194 @@
+"""UE-side RRC context: states, serving cells, failure counters.
+
+The UE context tracks exactly what a real baseband tracks: the RRC
+state, the PCell, the SCell index table (``sCellIndex -> cell``, which
+is what ``sCellToReleaseList`` indices refer to), the NSA secondary cell
+group, and the per-cell counters that implement time-to-trigger for
+failure detection (radio-link failure, the fragile-SCell exceptions of
+the OnePlus 12R).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.cells.cell import CellIdentity, Rat
+
+
+class RrcState(enum.Enum):
+    """Top-level RRC state of the UE."""
+
+    IDLE = "IDLE"
+    CONNECTED = "CONNECTED"
+
+
+class FiveGState(enum.Enum):
+    """The paper's ON/OFF abstraction of the serving configuration."""
+
+    OFF_IDLE = "IDLE"
+    OFF_LTE_ONLY = "4G"
+    ON_SA = "5G SA"
+    ON_NSA = "5G NSA"
+
+    @property
+    def is_on(self) -> bool:
+        return self in (FiveGState.ON_SA, FiveGState.ON_NSA)
+
+
+@dataclass
+class UeContext:
+    """Mutable RRC context of one UE during one run."""
+
+    state: RrcState = RrcState.IDLE
+    pcell: CellIdentity | None = None
+    scells: dict[int, CellIdentity] = field(default_factory=dict)
+    scg_pscell: CellIdentity | None = None
+    scg_scells: list[CellIdentity] = field(default_factory=list)
+    next_scell_index: int = 1
+    idle_until_s: float = 0.0
+    # Failure-detection counters (ticks the condition has persisted).
+    unmeasurable_ticks: dict[CellIdentity, int] = field(default_factory=dict)
+    poor_rsrq_ticks: dict[CellIdentity, int] = field(default_factory=dict)
+    pcell_weak_ticks: int = 0
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        return self.state is RrcState.CONNECTED
+
+    def five_g_state(self) -> FiveGState:
+        """Classify the current configuration into the paper's four states."""
+        if not self.connected or self.pcell is None:
+            return FiveGState.OFF_IDLE
+        if self.pcell.rat is Rat.NR:
+            return FiveGState.ON_SA
+        if self.scg_pscell is not None:
+            return FiveGState.ON_NSA
+        return FiveGState.OFF_LTE_ONLY
+
+    def serving_identities(self) -> list[CellIdentity]:
+        """Every serving cell: PCell, MCG SCells, then the SCG."""
+        cells: list[CellIdentity] = []
+        if self.pcell is not None:
+            cells.append(self.pcell)
+        cells.extend(self.scells[index] for index in sorted(self.scells))
+        if self.scg_pscell is not None:
+            cells.append(self.scg_pscell)
+        cells.extend(self.scg_scells)
+        return cells
+
+    def scell_index_of(self, identity: CellIdentity) -> int | None:
+        for index, cell in self.scells.items():
+            if cell == identity:
+                return index
+        return None
+
+    def serving_scell_on_channel(self, channel: int) -> CellIdentity | None:
+        for index in sorted(self.scells):
+            if self.scells[index].channel == channel:
+                return self.scells[index]
+        return None
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+
+    def establish(self, pcell: CellIdentity) -> None:
+        """Enter CONNECTED on a fresh PCell (RRC setup / reestablishment)."""
+        self.state = RrcState.CONNECTED
+        self.pcell = pcell
+        self.scells.clear()
+        self.scg_pscell = None
+        self.scg_scells.clear()
+        self.next_scell_index = 1
+        self._reset_counters()
+
+    def add_scell(self, identity: CellIdentity) -> int:
+        """Add an MCG SCell; returns the assigned sCellIndex."""
+        if not self.connected:
+            raise RuntimeError("cannot add SCell while IDLE")
+        index = self.next_scell_index
+        self.next_scell_index += 1
+        self.scells[index] = identity
+        return index
+
+    def release_scell_index(self, index: int) -> CellIdentity | None:
+        released = self.scells.pop(index, None)
+        if released is not None:
+            self.unmeasurable_ticks.pop(released, None)
+            self.poor_rsrq_ticks.pop(released, None)
+        return released
+
+    def replace_scell(self, release_index: int, new_identity: CellIdentity) -> int:
+        """Execute an SCell modification (release one index, add a cell)."""
+        self.release_scell_index(release_index)
+        return self.add_scell(new_identity)
+
+    def attach_scg(self, pscell: CellIdentity, scells: list[CellIdentity]) -> None:
+        if not self.connected:
+            raise RuntimeError("cannot attach SCG while IDLE")
+        self.scg_pscell = pscell
+        self.scg_scells = list(scells)
+
+    def release_scg(self) -> None:
+        self.scg_pscell = None
+        self.scg_scells.clear()
+
+    def handover(self, target: CellIdentity, keep_scg: bool) -> None:
+        """Change the (4G) PCell; MCG SCells are dropped, SCG optionally kept."""
+        self.pcell = target
+        self.scells.clear()
+        self.pcell_weak_ticks = 0
+        if not keep_scg:
+            self.release_scg()
+
+    def release_all(self, idle_until_s: float) -> None:
+        """Drop the whole connection and go IDLE until the given time."""
+        self.state = RrcState.IDLE
+        self.pcell = None
+        self.scells.clear()
+        self.scg_pscell = None
+        self.scg_scells.clear()
+        self.idle_until_s = idle_until_s
+        self._reset_counters()
+
+    def _reset_counters(self) -> None:
+        self.unmeasurable_ticks.clear()
+        self.poor_rsrq_ticks.clear()
+        self.pcell_weak_ticks = 0
+
+    # ------------------------------------------------------------------
+    # Failure-detection counters
+    # ------------------------------------------------------------------
+
+    def note_scell_measurability(self, identity: CellIdentity,
+                                 measurable: bool) -> int:
+        """Track how long an SCell has been unmeasurable; returns the count."""
+        if measurable:
+            self.unmeasurable_ticks[identity] = 0
+            return 0
+        count = self.unmeasurable_ticks.get(identity, 0) + 1
+        self.unmeasurable_ticks[identity] = count
+        return count
+
+    def note_scell_rsrq(self, identity: CellIdentity, rsrq_db: float,
+                        poor_threshold_db: float) -> int:
+        """Track how long an SCell's RSRQ has been poor; returns the count."""
+        if rsrq_db > poor_threshold_db:
+            self.poor_rsrq_ticks[identity] = 0
+            return 0
+        count = self.poor_rsrq_ticks.get(identity, 0) + 1
+        self.poor_rsrq_ticks[identity] = count
+        return count
+
+    def note_pcell_strength(self, rsrp_dbm: float, rlf_threshold_dbm: float) -> int:
+        """Track how long the PCell has been below the RLF threshold."""
+        if rsrp_dbm >= rlf_threshold_dbm:
+            self.pcell_weak_ticks = 0
+        else:
+            self.pcell_weak_ticks += 1
+        return self.pcell_weak_ticks

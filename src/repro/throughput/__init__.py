@@ -1,0 +1,5 @@
+"""Downlink throughput model (tcpdump stand-in)."""
+
+from repro.throughput.model import DataRateModel, spectral_efficiency_bps_hz
+
+__all__ = ["DataRateModel", "spectral_efficiency_bps_hz"]

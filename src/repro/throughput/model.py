@@ -1,0 +1,97 @@
+"""Per-second downlink throughput model.
+
+The paper's runs are bulk 500 MB downloads captured with tcpdump; the
+figures only consume the resulting 1 Hz speed series (Figure 1b) and
+the ON/OFF speed distributions (Figure 11).  We model the achievable
+rate of a serving configuration as the sum over serving carriers of::
+
+    width_mhz * spectral_efficiency(RSRP) * mimo_gain * utilization
+
+with secondary carriers discounted (scheduling across carriers is never
+perfectly efficient) and an operator-level ``utilization`` factor that
+captures load and backhaul differences — the knob that reproduces the
+operator medians of Figure 11a (OP_T ~186 Mbps, OP_A ~25 Mbps,
+OP_V ~98 Mbps).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cells.cell import Rat
+from repro.radio.environment import CellObservation
+
+
+def spectral_efficiency_bps_hz(rsrp_dbm: float) -> float:
+    """Map RSRP to an effective spectral efficiency in bit/s/Hz.
+
+    A logistic curve saturating at 3.8 b/s/Hz (256QAM-ish) for strong
+    signal and collapsing toward 0.05 b/s/Hz near the cell edge:
+
+    >>> spectral_efficiency_bps_hz(-80) > 2.5
+    True
+    >>> spectral_efficiency_bps_hz(-118) < 0.5
+    True
+    """
+    efficiency = 0.05 + 3.75 / (1.0 + math.exp(-(rsrp_dbm + 96.0) / 5.0))
+    return min(max(efficiency, 0.05), 3.8)
+
+
+@dataclass
+class DataRateModel:
+    """Throughput of a serving configuration for one operator.
+
+    Attributes:
+        utilization: fraction of the physical-layer rate the bulk flow
+            actually achieves (load, scheduling, backhaul).
+        secondary_discount: weight of each non-primary carrier.
+        mimo_reference_layers: layers assumed by the base efficiency.
+    """
+
+    utilization: float = 0.35
+    secondary_discount: float = 0.5
+    mimo_reference_layers: int = 2
+
+    def carrier_rate_mbps(self, observation: CellObservation,
+                          mimo_layers: int = 2) -> float:
+        """Physical-layer rate of one serving carrier."""
+        efficiency = spectral_efficiency_bps_hz(observation.rsrp_dbm)
+        mimo_gain = mimo_layers / self.mimo_reference_layers
+        return observation.cell.channel_width_mhz * efficiency * mimo_gain
+
+    def rate_mbps(self, primary: CellObservation | None,
+                  secondaries: list[CellObservation],
+                  mimo_layers: int = 2) -> float:
+        """Achieved download speed of a full serving configuration.
+
+        ``primary`` is the cell carrying the anchor (SA PCell, or for
+        NSA the 5G PSCell when the SCG is up, else the 4G PCell);
+        ``secondaries`` are every other serving carrier.
+        """
+        if primary is None:
+            return 0.0
+        rate = self.carrier_rate_mbps(primary, mimo_layers)
+        for observation in secondaries:
+            rate += self.secondary_discount * self.carrier_rate_mbps(observation,
+                                                                     mimo_layers)
+        return rate * self.utilization
+
+    def lte_only_rate_mbps(self, pcell: CellObservation | None,
+                           mimo_layers: int = 2) -> float:
+        """Speed when only the 4G MCG serves traffic (5G OFF over NSA)."""
+        if pcell is None:
+            return 0.0
+        return self.carrier_rate_mbps(pcell, mimo_layers) * self.utilization
+
+    @staticmethod
+    def split_primary(observations: list[CellObservation]
+                      ) -> tuple[CellObservation | None, list[CellObservation]]:
+        """Pick the widest NR carrier as primary, rest as secondaries."""
+        if not observations:
+            return None, []
+        nr = [obs for obs in observations if obs.identity.rat is Rat.NR]
+        pool = nr if nr else observations
+        primary = max(pool, key=lambda obs: obs.cell.channel_width_mhz)
+        secondaries = [obs for obs in observations if obs is not primary]
+        return primary, secondaries

@@ -1,0 +1,51 @@
+"""Signaling and throughput trace substrate.
+
+Stands in for the paper's capture tooling (Network Signal Guru for RRC
+signaling, tcpdump for throughput): the simulation half *emits* typed
+log records, serialises them to JSONL, and the analysis half *parses*
+them back.  The analysis code only ever sees what a real capture would
+contain — timestamped RRC messages and measurement samples — never
+simulator internals.
+"""
+
+from repro.traces.records import (
+    CellMeasurement,
+    MeasurementReportRecord,
+    MmStateRecord,
+    Record,
+    RrcReconfigurationCompleteRecord,
+    RrcReconfigurationRecord,
+    RrcReestablishmentCompleteRecord,
+    RrcReestablishmentRequestRecord,
+    RrcReleaseRecord,
+    RrcSetupCompleteRecord,
+    RrcSetupRecord,
+    RrcSetupRequestRecord,
+    ScgFailureRecord,
+    SystemInfoRecord,
+    ThroughputSampleRecord,
+)
+from repro.traces.log import SignalingTrace
+from repro.traces.parser import TraceParseError, parse_jsonl, parse_record
+
+__all__ = [
+    "CellMeasurement",
+    "MeasurementReportRecord",
+    "MmStateRecord",
+    "Record",
+    "RrcReconfigurationCompleteRecord",
+    "RrcReconfigurationRecord",
+    "RrcReestablishmentCompleteRecord",
+    "RrcReestablishmentRequestRecord",
+    "RrcReleaseRecord",
+    "RrcSetupCompleteRecord",
+    "RrcSetupRecord",
+    "RrcSetupRequestRecord",
+    "ScgFailureRecord",
+    "SignalingTrace",
+    "SystemInfoRecord",
+    "ThroughputSampleRecord",
+    "TraceParseError",
+    "parse_jsonl",
+    "parse_record",
+]

@@ -1,0 +1,110 @@
+"""The SignalingTrace container: an ordered run capture.
+
+One :class:`SignalingTrace` corresponds to one experiment run (one
+5-minute stationary speed test, or one walking/driving collection): a
+time-ordered list of records plus run metadata (operator, area,
+location, device, run seed).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Type, TypeVar
+
+from repro.traces.records import Record, ThroughputSampleRecord
+
+RecordT = TypeVar("RecordT", bound=Record)
+
+
+@dataclass
+class TraceMetadata:
+    """Metadata identifying the run a trace came from."""
+
+    operator: str = ""
+    area: str = ""
+    location: str = ""
+    device: str = ""
+    run_seed: int = 0
+    mode: str = "stationary"
+
+    def to_dict(self) -> dict:
+        return {
+            "operator": self.operator,
+            "area": self.area,
+            "location": self.location,
+            "device": self.device,
+            "run_seed": self.run_seed,
+            "mode": self.mode,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "TraceMetadata":
+        return TraceMetadata(
+            operator=str(data.get("operator", "")),
+            area=str(data.get("area", "")),
+            location=str(data.get("location", "")),
+            device=str(data.get("device", "")),
+            run_seed=int(data.get("run_seed", 0)),
+            mode=str(data.get("mode", "stationary")),
+        )
+
+
+@dataclass
+class SignalingTrace:
+    """A time-ordered capture of one run."""
+
+    metadata: TraceMetadata = field(default_factory=TraceMetadata)
+    records: list[Record] = field(default_factory=list)
+
+    def append(self, record: Record) -> None:
+        """Append a record; timestamps must be non-decreasing."""
+        if self.records and record.time_s < self.records[-1].time_s - 1e-9:
+            raise ValueError(
+                f"record at t={record.time_s} arrives before trace tail "
+                f"t={self.records[-1].time_s}")
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    @property
+    def duration_s(self) -> float:
+        if not self.records:
+            return 0.0
+        return self.records[-1].time_s - self.records[0].time_s
+
+    def of_kind(self, record_type: Type[RecordT]) -> list[RecordT]:
+        """All records of one type, in order."""
+        return [record for record in self.records if isinstance(record, record_type)]
+
+    def signaling_records(self) -> list[Record]:
+        """All records except throughput samples (the RRC capture proper)."""
+        return [record for record in self.records
+                if not isinstance(record, ThroughputSampleRecord)]
+
+    def throughput_series(self) -> list[tuple[float, float]]:
+        """(time, Mbps) pairs of the throughput capture."""
+        return [(record.time_s, record.mbps)
+                for record in self.of_kind(ThroughputSampleRecord)]
+
+    def to_jsonl(self) -> str:
+        """Serialise to JSONL: one metadata header line, then one line per record."""
+        lines = [json.dumps({"meta": self.metadata.to_dict()})]
+        lines.extend(json.dumps(record.to_dict()) for record in self.records)
+        return "\n".join(lines) + "\n"
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace to a JSONL file."""
+        Path(path).write_text(self.to_jsonl(), encoding="utf-8")
+
+    @staticmethod
+    def load(path: str | Path) -> "SignalingTrace":
+        """Read a trace back from a JSONL file (see :mod:`repro.traces.parser`)."""
+        from repro.traces.parser import parse_jsonl
+
+        return parse_jsonl(Path(path).read_text(encoding="utf-8"))

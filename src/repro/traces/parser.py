@@ -1,0 +1,159 @@
+"""Parse serialized signaling traces back into typed records.
+
+This is the entry point of the analysis half: whether a trace was just
+simulated in-process or loaded from a JSONL file on disk, the loop
+pipeline consumes parsed :class:`~repro.traces.records.Record` objects
+and nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.traces.log import SignalingTrace, TraceMetadata
+from repro.traces.records import (
+    CellMeasurement,
+    MeasurementReportRecord,
+    MmStateRecord,
+    Record,
+    RrcReconfigurationCompleteRecord,
+    RrcReconfigurationRecord,
+    RrcReestablishmentCompleteRecord,
+    RrcReestablishmentRequestRecord,
+    RrcReleaseRecord,
+    RrcSetupCompleteRecord,
+    RrcSetupRecord,
+    RrcSetupRequestRecord,
+    ScellAddMod,
+    ScgFailureRecord,
+    SystemInfoRecord,
+    ThroughputSampleRecord,
+    _decode_identity,
+    _decode_optional_identity,
+)
+
+
+class TraceParseError(ValueError):
+    """Raised on malformed trace input."""
+
+
+def _parse_sys_info(t: float, data: dict) -> Record:
+    return SystemInfoRecord(time_s=t, cell=_decode_identity(data["cell"]),
+                            selection_threshold_dbm=float(data["threshold"]))
+
+
+def _parse_setup_request(t: float, data: dict) -> Record:
+    return RrcSetupRequestRecord(time_s=t, cell=_decode_identity(data["cell"]))
+
+
+def _parse_setup(t: float, data: dict) -> Record:
+    return RrcSetupRecord(time_s=t, cell=_decode_identity(data["cell"]))
+
+
+def _parse_setup_complete(t: float, data: dict) -> Record:
+    return RrcSetupCompleteRecord(time_s=t, cell=_decode_identity(data["cell"]))
+
+
+def _parse_meas_report(t: float, data: dict) -> Record:
+    measurements = tuple(CellMeasurement.from_dict(m) for m in data["meas"])
+    return MeasurementReportRecord(time_s=t, event=str(data["event"]),
+                                   measurements=measurements)
+
+
+def _parse_reconfiguration(t: float, data: dict) -> Record:
+    return RrcReconfigurationRecord(
+        time_s=t,
+        pcell=_decode_identity(data["pcell"]),
+        scell_add_mod=tuple(ScellAddMod.from_dict(e) for e in data["scell_add_mod"]),
+        scell_release_indices=tuple(int(i) for i in data["scell_release"]),
+        handover_target=_decode_optional_identity(data["handover"]),
+        scg_pscell=_decode_optional_identity(data["scg_pscell"]),
+        scg_scells=tuple(_decode_identity(c) for c in data["scg_scells"]),
+        release_scg=bool(data["release_scg"]),
+        meas_events=tuple((str(e[0]), int(e[1]), float(e[2]))
+                          for e in data["meas_events"]),
+    )
+
+
+def _parse_reconfiguration_complete(t: float, data: dict) -> Record:
+    return RrcReconfigurationCompleteRecord(time_s=t,
+                                            pcell=_decode_identity(data["pcell"]))
+
+
+def _parse_scg_failure(t: float, data: dict) -> Record:
+    return ScgFailureRecord(time_s=t, failure_type=str(data["failure_type"]))
+
+
+def _parse_reestablishment_request(t: float, data: dict) -> Record:
+    return RrcReestablishmentRequestRecord(
+        time_s=t, cause=str(data["cause"]),
+        cell=_decode_optional_identity(data.get("cell")))
+
+
+def _parse_reestablishment_complete(t: float, data: dict) -> Record:
+    return RrcReestablishmentCompleteRecord(time_s=t,
+                                            cell=_decode_identity(data["cell"]))
+
+
+def _parse_release(t: float, data: dict) -> Record:
+    return RrcReleaseRecord(time_s=t)
+
+
+def _parse_mm_state(t: float, data: dict) -> Record:
+    return MmStateRecord(time_s=t, state=str(data["state"]),
+                         substate=str(data.get("substate", "")))
+
+
+def _parse_throughput(t: float, data: dict) -> Record:
+    return ThroughputSampleRecord(time_s=t, mbps=float(data["mbps"]))
+
+
+_PARSERS = {
+    "sys_info": _parse_sys_info,
+    "rrc_setup_request": _parse_setup_request,
+    "rrc_setup": _parse_setup,
+    "rrc_setup_complete": _parse_setup_complete,
+    "meas_report": _parse_meas_report,
+    "rrc_reconfiguration": _parse_reconfiguration,
+    "rrc_reconfiguration_complete": _parse_reconfiguration_complete,
+    "scg_failure": _parse_scg_failure,
+    "rrc_reestablishment_request": _parse_reestablishment_request,
+    "rrc_reestablishment_complete": _parse_reestablishment_complete,
+    "rrc_release": _parse_release,
+    "mm_state": _parse_mm_state,
+    "throughput": _parse_throughput,
+}
+
+
+def parse_record(data: dict) -> Record:
+    """Parse one decoded JSON object into a typed record."""
+    try:
+        kind = data["kind"]
+        time_s = float(data["t"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise TraceParseError(f"record missing kind/time: {data!r}") from error
+    parser = _PARSERS.get(kind)
+    if parser is None:
+        raise TraceParseError(f"unknown record kind {kind!r}")
+    try:
+        return parser(time_s, data)
+    except (KeyError, TypeError, ValueError) as error:
+        raise TraceParseError(f"malformed {kind} record: {data!r}") from error
+
+
+def parse_jsonl(text: str) -> SignalingTrace:
+    """Parse a JSONL trace (metadata header + records) into a SignalingTrace."""
+    trace = SignalingTrace()
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            data = json.loads(stripped)
+        except json.JSONDecodeError as error:
+            raise TraceParseError(f"line {line_number}: invalid JSON") from error
+        if "meta" in data:
+            trace.metadata = TraceMetadata.from_dict(data["meta"])
+            continue
+        trace.append(parse_record(data))
+    return trace

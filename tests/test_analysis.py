@@ -1,0 +1,184 @@
+"""Tests for aggregate statistics, figure series and table renderers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import figures, tables
+from repro.analysis.stats import (
+    ViolinSummary,
+    cdf_points,
+    fraction_within,
+    quantiles,
+    spearman,
+    violin_summary,
+)
+from repro.campaign import CampaignConfig, CampaignRunner, operator
+from repro.campaign.operators import OP_T_PROBLEM_CHANNEL
+
+samples = st.lists(st.floats(min_value=-1e4, max_value=1e4,
+                             allow_nan=False), min_size=1, max_size=200)
+
+
+class TestStats:
+    def test_cdf_empty(self):
+        assert cdf_points([]) == []
+
+    @given(samples)
+    def test_cdf_monotone_and_ends_at_one(self, values):
+        points = cdf_points(values)
+        fractions = [fraction for _v, fraction in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+        ordered = [value for value, _f in points]
+        assert ordered == sorted(ordered)
+
+    def test_quantiles_empty(self):
+        assert quantiles([]) == {}
+
+    def test_quantiles_median(self):
+        assert quantiles([1.0, 2.0, 3.0])[0.5] == pytest.approx(2.0)
+
+    def test_violin_summary_counts(self):
+        summary = violin_summary([1.0] * 10)
+        assert summary.count == 10
+        assert summary.median == 1.0
+        assert summary.p5 == summary.p95 == 1.0
+
+    def test_violin_empty(self):
+        assert ViolinSummary.of([]).count == 0
+
+    @given(samples)
+    def test_violin_ordering(self, values):
+        summary = violin_summary(values)
+        assert summary.p5 <= summary.p25 <= summary.median \
+            <= summary.p75 <= summary.p95
+
+    def test_spearman_perfect_positive(self):
+        assert spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_spearman_perfect_negative(self):
+        assert spearman([1, 2, 3, 4], [5, 4, 3, 2]) == pytest.approx(-1.0)
+
+    def test_spearman_tiny_sample_is_zero(self):
+        assert spearman([1.0, 2.0], [3.0, 1.0]) == 0.0
+
+    def test_spearman_constant_series_is_zero(self):
+        assert spearman([1.0, 1.0, 1.0, 1.0], [1.0, 2.0, 3.0, 4.0]) == 0.0
+
+    def test_spearman_length_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman([1.0], [1.0, 2.0])
+
+    def test_fraction_within(self):
+        assert fraction_within([0.1, -0.2, 0.4], 0.25) == pytest.approx(2 / 3)
+        assert fraction_within([], 0.25) == 0.0
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    config = CampaignConfig(area_names=["A1", "A2"], a1_locations=5,
+                            a1_runs_per_location=3, locations_per_area=4,
+                            runs_per_location=3, duration_s=240)
+    return CampaignRunner([operator("OP_T")], config).run()
+
+
+class TestFigureSeries:
+    def test_fig6_ratios_sum_to_one(self, campaign):
+        series = figures.fig6_loop_ratio(campaign)
+        assert "OP_T" in series
+        assert sum(series["OP_T"].values()) == pytest.approx(1.0)
+
+    def test_fig8_likelihoods(self, campaign):
+        likelihoods = figures.fig8_location_likelihood(campaign, "A1")
+        assert len(likelihoods) == 5
+        assert all(0.0 <= value <= 1.0 for value in likelihoods.values())
+
+    def test_fig9a_per_area(self, campaign):
+        series = figures.fig9a_area_ratios(campaign)
+        assert set(series) == {"A1", "A2"}
+        for ratios in series.values():
+            assert sum(ratios.values()) == pytest.approx(1.0)
+
+    def test_fig9b_bands_partition_locations(self, campaign):
+        series = figures.fig9b_likelihood_quartiles(campaign)
+        for area, bands in series.items():
+            assert sum(bands.values()) == pytest.approx(1.0)
+
+    def test_fig10_summaries(self, campaign):
+        series = figures.fig10_off_time(campaign)
+        summary = series["OP_T"]
+        assert summary["cycle_s"].count == summary["off_s"].count
+        if summary["off_ratio"].count:
+            assert 0.0 <= summary["off_ratio"].median <= 1.0
+
+    def test_fig11_speed_cdfs(self, campaign):
+        series = figures.fig11_speed(campaign)["OP_T"]
+        assert series["on"], "loop runs should produce ON speed samples"
+        # OP_T: 5G OFF means IDLE, speeds near zero.
+        off_values = [value for value, _f in series["off"]]
+        assert max(off_values) < 10.0
+
+    def test_fig13_transitions(self, campaign):
+        series = figures.fig13_transition_counts(campaign)
+        assert set(series["OP_T"]) <= {"S1", "N1", "N2", "UNKNOWN"}
+
+    def test_fig16_breakdown(self, campaign):
+        series = figures.fig16_breakdown(campaign)
+        for area, breakdown in series.items():
+            if breakdown:
+                assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_fig17a_cdf(self, campaign):
+        points = figures.fig17a_tenth_percentile_cdf(campaign,
+                                                     OP_T_PROBLEM_CHANNEL)
+        assert points
+        assert all(-140.0 < value < -60.0 for value, _f in points)
+
+    def test_fig17b_and_c(self, campaign):
+        per_area = figures.fig17b_rsrp_per_area(campaign, OP_T_PROBLEM_CHANNEL)
+        assert set(per_area) <= {"A1", "A2"}
+        per_subtype = figures.fig17c_rsrp_per_subtype(campaign,
+                                                      OP_T_PROBLEM_CHANNEL)
+        assert "no-loop" in per_subtype or per_subtype
+
+    def test_persistent_share(self, campaign):
+        share = figures.persistent_share_of_loops(campaign)
+        assert 0.0 <= share <= 1.0
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = tables.format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_table3(self, campaign):
+        rows = tables.table3_statistics(campaign, {"A1": 2.9, "A2": 1.6})
+        assert len(rows) == 1
+        assert rows[0].operator == "OP_T"
+        assert rows[0].mode == "5G SA"
+        assert rows[0].area_size_km2 == pytest.approx(4.5)
+
+    def test_table4(self):
+        rows = tables.table4_devices()
+        assert len(rows) == 6
+        assert any("OnePlus 12R" in row for row in rows)
+
+    def test_table5(self, campaign):
+        rows = tables.table5_channel_usage(campaign)
+        channels = [row[0] for row in rows]
+        assert str(OP_T_PROBLEM_CHANNEL) in channels
+        for row in rows:
+            assert len(row) == 7
+
+    def test_table2(self, campaign):
+        from repro.campaign import build_deployment
+        from repro.radio.geometry import Point
+
+        deployment = build_deployment(operator("OP_T"), "A1")
+        cells = [cell.identity for cell in deployment.environment.cells[:3]]
+        rows = tables.table2_cells(deployment.environment, Point(500.0, 500.0),
+                                   cells, samples=50)
+        assert len(rows) == 3
+        assert all("dBm" in row[4] for row in rows)

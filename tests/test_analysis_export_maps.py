@@ -1,0 +1,131 @@
+"""Tests for CSV dataset export and ASCII map rendering."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.export import (
+    cycles_csv,
+    export_dataset,
+    runs_csv,
+    transitions_csv,
+)
+from repro.analysis.maps import field_map, likelihood_map
+from repro.campaign import CampaignConfig, CampaignRunner, operator
+from repro.campaign.dataset import CampaignResult
+from repro.campaign.locations import dense_grid_locations
+from repro.radio.geometry import Area, Point
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = CampaignConfig(area_names=["A9"], locations_per_area=3,
+                            runs_per_location=3, duration_s=240)
+    return CampaignRunner([operator("OP_V")], config).run()
+
+
+def _rows(text):
+    return list(csv.DictReader(io.StringIO(text)))
+
+
+class TestCsvExport:
+    def test_runs_csv_one_row_per_run(self, result):
+        rows = _rows(runs_csv(result))
+        assert len(rows) == len(result)
+        assert {row["operator"] for row in rows} == {"OP_V"}
+        assert all(row["loop"] in ("0", "1") for row in rows)
+
+    def test_runs_csv_loop_fields_consistent(self, result):
+        for row in _rows(runs_csv(result)):
+            if row["loop"] == "1":
+                assert row["subtype"]
+                assert int(row["loop_repetitions"]) >= 2
+            else:
+                assert row["subtype"] == ""
+
+    def test_cycles_csv_matches_analysis(self, result):
+        rows = _rows(cycles_csv(result))
+        expected = sum(len(run.analysis.cycles) for run in result.runs
+                       if run.has_loop)
+        assert len(rows) == expected
+        for row in rows:
+            assert float(row["cycle_s"]) == pytest.approx(
+                float(row["on_s"]) + float(row["off_s"]), abs=0.02)
+            assert 0.0 <= float(row["off_ratio"]) <= 1.0
+
+    def test_transitions_csv_has_problem_cells(self, result):
+        rows = _rows(transitions_csv(result))
+        loop_rows = [row for row in rows if row["subtype"] != "UNKNOWN"]
+        if loop_rows:
+            assert any("@" in row["problem_cell"] for row in loop_rows)
+
+    def test_export_writes_three_files(self, result, tmp_path):
+        paths = export_dataset(result, tmp_path / "dataset")
+        assert set(paths) == {"runs", "cycles", "transitions"}
+        for path in paths.values():
+            assert path.exists()
+            assert path.read_text().startswith(("operator",))
+
+    def test_empty_result_exports_headers_only(self, tmp_path):
+        paths = export_dataset(CampaignResult(), tmp_path)
+        rows = _rows(paths["runs"].read_text())
+        assert rows == []
+
+
+class TestMaps:
+    def test_likelihood_map_shape(self):
+        area = Area("A", 1000.0, 1000.0)
+        points = [Point(100.0, 100.0), Point(900.0, 900.0)]
+        text = likelihood_map(area, points, [0.0, 1.0], columns=20)
+        lines = text.splitlines()
+        assert lines[0].startswith("+")
+        assert "#" in text  # the 100% location
+
+    def test_likelihood_map_validates(self):
+        area = Area("A", 100.0, 100.0)
+        with pytest.raises(ValueError):
+            likelihood_map(area, [Point(1, 1)], [])
+        with pytest.raises(ValueError):
+            likelihood_map(area, [], [], columns=2)
+
+    def test_field_map_renders_grid(self):
+        area = Area("A", 1000.0, 1000.0)
+        points = dense_grid_locations(Point(500.0, 500.0), area,
+                                      half_extent_m=100.0, spacing_m=50.0)
+        values = [point.x_m + point.y_m for point in points]
+        text = field_map(points, values)
+        lines = text.splitlines()
+        assert len(lines) == 6  # 5 grid rows + range line
+        assert lines[-1].startswith("range:")
+
+    def test_field_map_empty(self):
+        assert field_map([], []) == "(empty field)"
+
+    def test_field_map_validates(self):
+        with pytest.raises(ValueError):
+            field_map([Point(0, 0)], [])
+
+
+class TestSpeedTimeline:
+    def test_renders_bars_and_off_markers(self):
+        from repro.analysis.maps import speed_timeline
+
+        series = [(float(t), 200.0 if (t // 20) % 2 == 0 else 0.0)
+                  for t in range(120)]
+        text = speed_timeline(series, width=40, height=5)
+        lines = text.splitlines()
+        assert len(lines) == 7
+        assert "#" in lines[0] or "#" in lines[1]
+        assert "x" in lines[-2]
+
+    def test_empty_series(self):
+        from repro.analysis.maps import speed_timeline
+
+        assert speed_timeline([]) == "(no throughput samples)"
+
+    def test_validates_dimensions(self):
+        from repro.analysis.maps import speed_timeline
+
+        with pytest.raises(ValueError):
+            speed_timeline([(0.0, 1.0)], width=5)

@@ -1,0 +1,72 @@
+"""Tests for the Table 1 finding checkers."""
+
+import pytest
+
+from repro.analysis.findings import (
+    check_all,
+    check_f1,
+    check_f2,
+    check_f5,
+    check_f6,
+    check_f12,
+)
+from repro.campaign import CampaignConfig, CampaignRunner, operator
+from repro.campaign.dataset import CampaignResult
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = CampaignConfig(area_names=["A1"], a1_locations=6,
+                            a1_runs_per_location=4, duration_s=300)
+    return CampaignRunner([operator("OP_T")], config).run()
+
+
+class TestIndividualCheckers:
+    def test_f1_on_looping_campaign(self, result):
+        finding = check_f1(result)
+        assert finding.checked
+        assert "persistent share" in finding.evidence
+
+    def test_f1_fails_on_empty(self):
+        assert not check_f1(CampaignResult()).holds
+
+    def test_f2_counts_areas(self, result):
+        finding = check_f2(result)
+        assert "areas" in finding.evidence
+
+    def test_f5_without_matrix_is_unchecked(self):
+        finding = check_f5(None)
+        assert not finding.checked
+
+    def test_f6_with_synthetic_matrix(self, result):
+        matrix = {"OP_T": {"OnePlus 12R": result,
+                           "Pixel 5": CampaignResult()}}
+        finding = check_f6(matrix)
+        assert finding.checked
+        assert finding.holds == (result.loop_ratio() > 0)
+
+    def test_f6_fails_if_other_device_loops(self, result):
+        matrix = {"OP_T": {"OnePlus 12R": result, "Pixel 5": result}}
+        assert not check_f6(matrix).holds
+
+    def test_f12_holds_without_legacy_loops(self, result):
+        assert check_f12(result).holds
+
+
+class TestCheckAll:
+    def test_returns_all_rows(self, result):
+        findings = check_all(result)
+        ids = [finding.finding for finding in findings]
+        assert ids == ["F1", "F2", "F3", "F4", "F5", "F6", "F7", "F9",
+                       "F12", "F13", "F14", "F15"]
+
+    def test_single_operator_campaign_findings(self, result):
+        findings = {finding.finding: finding for finding in check_all(result)}
+        # Findings checkable on an OP_T-only campaign should hold.
+        for finding_id in ("F1", "F2", "F3", "F7", "F9", "F12", "F13", "F14"):
+            assert findings[finding_id].holds, finding_id
+
+    def test_unchecked_findings_marked(self, result):
+        findings = {finding.finding: finding for finding in check_all(result)}
+        assert not findings["F5"].checked  # no device matrix provided
+        assert not findings["F15"].checked  # no SCG failures over SA

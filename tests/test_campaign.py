@@ -1,0 +1,290 @@
+"""Tests for devices, operators, locations, runner and dataset."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignConfig,
+    CampaignRunner,
+    DEVICES,
+    OPERATORS,
+    build_deployment,
+    dense_grid_locations,
+    device,
+    operator,
+    sparse_locations,
+)
+from repro.campaign.dataset import CampaignResult, DatasetStatistics
+from repro.campaign.locations import walking_path
+from repro.campaign.runner import loop_probability_at, run_once
+from repro.cells.cell import Rat
+from repro.core.loops import LoopKind
+from repro.radio.geometry import Area, Point
+
+
+class TestDevices:
+    def test_all_six_table4_models_present(self):
+        assert len(DEVICES) == 6
+        assert "OnePlus 12R" in DEVICES
+        assert "Samsung S23" in DEVICES
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            device("iPhone")
+
+    def test_12r_is_the_fragile_model(self):
+        phone = device("OnePlus 12R")
+        assert phone.handles_scell_band_fragile("n25")
+        assert phone.sa_carrier_aggregation
+
+    def test_13r_is_lean(self):
+        phone = device("OnePlus 13R")
+        assert phone.mimo_layers == 4
+        assert not phone.fragile_scell_bands
+
+    def test_10_pro_lacks_att_nsa(self):
+        phone = device("OnePlus 10 Pro")
+        assert not phone.supports_nsa_with("OP_A")
+        assert not phone.sa_carrier_aggregation
+
+    def test_s23_prefers_n71(self):
+        assert device("Samsung S23").sa_band_preference[0] == "n71"
+
+
+class TestOperators:
+    def test_three_operators(self):
+        assert set(OPERATORS) == {"OP_T", "OP_A", "OP_V"}
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            operator("OP_X")
+
+    def test_op_t_is_sa_with_five_areas(self):
+        profile = operator("OP_T")
+        assert profile.policy.is_sa
+        assert [spec.name for spec in profile.areas] == \
+            ["A1", "A2", "A3", "A4", "A5"]
+
+    def test_nsa_operators_have_three_areas_each(self):
+        assert len(operator("OP_A").areas) == 3
+        assert len(operator("OP_V").areas) == 3
+
+    def test_problem_channel_policies(self):
+        op_a = operator("OP_A").policy
+        assert not op_a.scg_allowed_on(5815)
+        assert op_a.channel_policy(5815, Rat.LTE).redirect_on_5g_report_to == 5145
+        op_v = operator("OP_V").policy
+        assert op_v.scg_allowed_on(5230)
+        assert op_v.channel_policy(5230, Rat.LTE).drops_scg_on_entry
+
+    def test_op_v_recovery_period_is_30s(self):
+        assert operator("OP_V").policy.scg_recovery_config_period_s == 30.0
+        assert operator("OP_A").policy.scg_recovery_config_period_s == 0.0
+
+    def test_legacy_a2b1_disabled_everywhere(self):
+        # F12: the prior-work loop is no longer present in operator policy.
+        for profile in OPERATORS.values():
+            assert not profile.policy.legacy_a2b1
+
+    def test_area_spec_lookup(self):
+        assert operator("OP_T").area_spec("A2").power_overrides
+        with pytest.raises(KeyError):
+            operator("OP_T").area_spec("A9")
+
+    def test_deployment_deterministic(self):
+        first = build_deployment(operator("OP_A"), "A6")
+        second = build_deployment(operator("OP_A"), "A6")
+        assert [c.identity for c in first.environment.cells] == \
+            [c.identity for c in second.environment.cells]
+
+    def test_deployment_applies_power_override(self):
+        base = build_deployment(operator("OP_T"), "A1")
+        overridden = build_deployment(operator("OP_T"), "A2")
+        base_power = {cell.identity.channel: cell.tx_power_dbm
+                      for cell in base.environment.cells}
+        over_power = {cell.identity.channel: cell.tx_power_dbm
+                      for cell in overridden.environment.cells}
+        assert over_power[387410] == base_power[387410] - 6.0
+
+    def test_deployment_bands_match_table3(self):
+        deployment = build_deployment(operator("OP_V"), "A9")
+        nr_channels = deployment.environment.channels_of_rat(Rat.NR)
+        assert nr_channels == [648672, 653952]  # n77 only
+
+
+class TestLocations:
+    def test_sparse_locations_count_and_separation(self):
+        area = Area("T", 1500.0, 1500.0)
+        points = sparse_locations(area, 10, min_separation_m=200.0, seed=1)
+        assert len(points) == 10
+        for i, a in enumerate(points):
+            for b in points[i + 1:]:
+                assert a.distance_to(b) >= 100.0  # may be relaxed, never tiny
+
+    def test_sparse_locations_deterministic(self):
+        area = Area("T", 1000.0, 1000.0)
+        assert sparse_locations(area, 5, seed=3) == \
+            sparse_locations(area, 5, seed=3)
+
+    def test_sparse_zero_count(self):
+        assert sparse_locations(Area("T", 100.0, 100.0), 0) == []
+
+    def test_separation_relaxes_in_small_areas(self):
+        area = Area("tiny", 250.0, 250.0)
+        points = sparse_locations(area, 8, min_separation_m=200.0, seed=2)
+        assert len(points) == 8
+
+    def test_dense_grid_clipped_to_area(self):
+        area = Area("T", 1000.0, 1000.0)
+        points = dense_grid_locations(Point(50.0, 50.0), area,
+                                      half_extent_m=150.0, spacing_m=50.0)
+        assert all(area.contains(point) for point in points)
+        assert Point(50.0, 50.0) in points
+
+    def test_dense_grid_invalid_spacing(self):
+        with pytest.raises(ValueError):
+            dense_grid_locations(Point(0, 0), Area("T", 10, 10), spacing_m=0)
+
+    def test_walking_path_endpoints(self):
+        provider = walking_path(Point(0.0, 0.0), Point(140.0, 0.0),
+                                duration_s=200, speed_m_s=1.4)
+        assert provider(0) == Point(0.0, 0.0)
+        assert provider(50).x_m == pytest.approx(70.0)
+        assert provider(150) == Point(140.0, 0.0)  # clamped at the end
+
+    def test_walking_path_degenerate(self):
+        provider = walking_path(Point(5.0, 5.0), Point(5.0, 5.0), 100)
+        assert provider(40) == Point(5.0, 5.0)
+
+
+@pytest.fixture(scope="module")
+def mini_campaign():
+    config = CampaignConfig(area_names=["A1"], a1_locations=4,
+                            a1_runs_per_location=3, duration_s=200)
+    return CampaignRunner([operator("OP_T")], config).run()
+
+
+class TestRunner:
+    def test_run_once_deterministic(self):
+        profile = operator("OP_A")
+        deployment = build_deployment(profile, "A6")
+        point = Point(600.0, 600.0)
+        first = run_once(deployment, profile, device("OnePlus 12R"), point,
+                         "L0", 0, duration_s=60, keep_trace=True)
+        second = run_once(deployment, profile, device("OnePlus 12R"), point,
+                          "L0", 0, duration_s=60, keep_trace=True)
+        assert first.trace.to_jsonl() == second.trace.to_jsonl()
+
+    def test_run_indices_vary_runs(self):
+        profile = operator("OP_A")
+        deployment = build_deployment(profile, "A6")
+        point = Point(600.0, 600.0)
+        first = run_once(deployment, profile, device("OnePlus 12R"), point,
+                         "L0", 0, duration_s=60, keep_trace=True)
+        second = run_once(deployment, profile, device("OnePlus 12R"), point,
+                          "L0", 1, duration_s=60, keep_trace=True)
+        assert first.trace.to_jsonl() != second.trace.to_jsonl()
+
+    def test_traces_dropped_by_default(self, mini_campaign):
+        assert all(run.trace is None for run in mini_campaign.runs)
+
+    def test_campaign_shape(self, mini_campaign):
+        assert len(mini_campaign) == 12
+        assert mini_campaign.areas == ["A1"]
+        assert len(mini_campaign.locations) == 4
+
+    def test_loop_probability_at_bounds(self):
+        profile = operator("OP_T")
+        deployment = build_deployment(profile, "A1")
+        probability = loop_probability_at(deployment, profile,
+                                          device("OnePlus 12R"),
+                                          Point(800.0, 800.0), "L", n_runs=2,
+                                          duration_s=120)
+        assert 0.0 <= probability <= 1.0
+
+    def test_loop_probability_requires_runs(self):
+        profile = operator("OP_T")
+        deployment = build_deployment(profile, "A1")
+        with pytest.raises(ValueError):
+            loop_probability_at(deployment, profile, device("OnePlus 12R"),
+                                Point(0.0, 0.0), "L", n_runs=0)
+
+
+class TestCampaignResult:
+    def test_filters(self, mini_campaign):
+        assert len(mini_campaign.for_operator("OP_T")) == len(mini_campaign)
+        assert len(mini_campaign.for_operator("OP_V")) == 0
+        location = mini_campaign.locations[0]
+        assert len(mini_campaign.for_location(location)) == 3
+
+    def test_ratios_sum_to_one(self, mini_campaign):
+        ratios = mini_campaign.loop_kind_ratios()
+        assert sum(ratios.values()) == pytest.approx(1.0)
+
+    def test_loop_ratio_consistency(self, mini_campaign):
+        ratios = mini_campaign.loop_kind_ratios()
+        assert mini_campaign.loop_ratio() == pytest.approx(
+            ratios[LoopKind.PERSISTENT] + ratios[LoopKind.SEMI_PERSISTENT])
+
+    def test_likelihood_per_location_bounds(self, mini_campaign):
+        for likelihood in mini_campaign.loop_likelihood_per_location().values():
+            assert 0.0 <= likelihood <= 1.0
+
+    def test_subtype_breakdown_sums_to_one_or_empty(self, mini_campaign):
+        breakdown = mini_campaign.subtype_breakdown()
+        if breakdown:
+            assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_empty_result(self):
+        empty = CampaignResult()
+        assert empty.loop_ratio() == 0.0
+        assert empty.subtype_breakdown() == {}
+        assert empty.loop_kind_ratios()[LoopKind.NO_LOOP] == 0.0
+
+
+class TestDatasetStatistics:
+    def test_table3_row(self, mini_campaign):
+        stats = DatasetStatistics.from_campaign(
+            mini_campaign, "OP_T", area_sizes_km2={"A1": 2.9}, mode="5G SA")
+        assert stats.n_locations == 4
+        assert stats.total_time_min == pytest.approx(12 * 200 / 60.0, rel=0.05)
+        assert stats.n_nr_cells > 0
+        assert "n41" in stats.nr_bands
+        assert stats.area_size_km2 == pytest.approx(2.9)
+        assert stats.n_rsrp_samples > 1000
+        assert stats.n_unique_cellsets > 0
+
+
+class TestOpTNsaExtension:
+    """F5 follow-up: OP_T over NSA in city C2 loops on every phone model."""
+
+    @pytest.fixture(scope="class")
+    def op_t_nsa_result(self):
+        from repro.campaign.operators import OP_T_NSA
+
+        config = CampaignConfig(locations_per_area=6, runs_per_location=4,
+                                duration_s=300)
+        return CampaignRunner([OP_T_NSA], config).run()
+
+    def test_profile_is_nsa_in_c2(self):
+        from repro.campaign.operators import EXTENDED_OPERATORS, OP_T_NSA
+
+        assert "OP_T_NSA" in EXTENDED_OPERATORS
+        assert not OP_T_NSA.policy.is_sa
+        assert all(spec.city == "C2" for spec in OP_T_NSA.areas)
+
+    def test_loops_appear_over_op_t_nsa(self, op_t_nsa_result):
+        assert op_t_nsa_result.loop_ratio() > 0.1
+
+    def test_loops_are_n_types(self, op_t_nsa_result):
+        for subtype in op_t_nsa_result.subtype_breakdown():
+            assert subtype.loop_type in ("N1", "N2")
+
+    def test_loops_not_device_specific(self):
+        """Unlike SA, the NSA loops appear with a non-12R phone too."""
+        from repro.campaign.operators import OP_T_NSA
+
+        config = CampaignConfig(device_name="Samsung S23",
+                                area_names=["C2-N1"], locations_per_area=6,
+                                runs_per_location=3, duration_s=300)
+        result = CampaignRunner([OP_T_NSA], config).run()
+        assert result.loop_ratio() > 0.1

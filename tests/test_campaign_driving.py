@@ -1,0 +1,73 @@
+"""Tests for the driving-test cell inventory (section 4.1)."""
+
+import pytest
+
+from repro.campaign import build_deployment, operator
+from repro.campaign.driving import (
+    DrivingInventory,
+    campaign_cell_counts,
+    drive_inventory,
+    lawnmower_route,
+)
+from repro.cells.cell import Rat
+from repro.radio.geometry import Area
+
+
+class TestRoute:
+    def test_route_covers_the_area(self):
+        area = Area("T", 1000.0, 800.0)
+        route = lawnmower_route(area, lane_spacing_m=200.0, step_m=100.0)
+        assert all(area.contains(point) for point in route)
+        ys = {point.y_m for point in route}
+        assert len(ys) >= 3  # several lanes
+
+    def test_route_alternates_direction(self):
+        area = Area("T", 500.0, 400.0)
+        route = lawnmower_route(area, lane_spacing_m=100.0, step_m=100.0)
+        lanes: dict[float, list[float]] = {}
+        for point in route:
+            lanes.setdefault(point.y_m, []).append(point.x_m)
+        directions = [xs == sorted(xs) for xs in lanes.values()]
+        assert True in directions and False in directions
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ValueError):
+            lawnmower_route(Area("T", 100, 100), lane_spacing_m=0)
+
+
+class TestInventory:
+    @pytest.fixture(scope="class")
+    def deployment(self):
+        return build_deployment(operator("OP_A"), "A6")
+
+    def test_inventory_finds_most_cells(self, deployment):
+        inventory = drive_inventory(deployment)
+        total = len(deployment.environment.cells)
+        assert len(inventory.observed) >= total * 0.8
+        assert inventory.points_driven > 0
+
+    def test_nsa_operator_has_more_4g_than_5g(self, deployment):
+        inventory = drive_inventory(deployment)
+        assert inventory.n_lte_cells > inventory.n_nr_cells
+
+    def test_higher_floor_finds_fewer_cells(self, deployment):
+        sensitive = drive_inventory(deployment, detection_floor_dbm=-120.0)
+        deaf = drive_inventory(deployment, detection_floor_dbm=-70.0)
+        assert len(deaf.observed) < len(sensitive.observed)
+
+    def test_inventory_rat_split(self, deployment):
+        inventory = drive_inventory(deployment)
+        assert inventory.observed == (inventory.cells_of_rat(Rat.NR)
+                                      | inventory.cells_of_rat(Rat.LTE))
+
+    def test_empty_inventory_counts(self):
+        inventory = DrivingInventory()
+        assert inventory.n_nr_cells == 0
+        assert inventory.n_lte_cells == 0
+
+    def test_campaign_cell_counts_table3_shape(self):
+        counts = campaign_cell_counts([operator("OP_A"), operator("OP_V")],
+                                      build_deployment)
+        for name, (nr, lte) in counts.items():
+            assert nr > 0 and lte > 0
+            assert lte > nr  # NSA operators are 4G-heavy (Table 3)

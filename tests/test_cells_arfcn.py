@@ -1,0 +1,104 @@
+"""Tests for NR-ARFCN / EARFCN <-> frequency conversion."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cells.arfcn import (
+    ArfcnError,
+    earfcn_band,
+    earfcn_to_frequency_mhz,
+    frequency_mhz_to_nr_arfcn,
+    nr_arfcn_to_frequency_mhz,
+)
+
+
+class TestNrArfcn:
+    def test_paper_channel_387410_is_1937_mhz(self):
+        assert nr_arfcn_to_frequency_mhz(387410) == pytest.approx(1937.05)
+
+    def test_paper_channel_398410_is_1992_mhz(self):
+        assert nr_arfcn_to_frequency_mhz(398410) == pytest.approx(1992.05)
+
+    def test_paper_channel_521310_is_2607_mhz(self):
+        assert nr_arfcn_to_frequency_mhz(521310) == pytest.approx(2606.55)
+
+    def test_paper_channel_501390_is_2507_mhz(self):
+        assert nr_arfcn_to_frequency_mhz(501390) == pytest.approx(2506.95)
+
+    def test_paper_channel_126270_is_n71_range(self):
+        assert nr_arfcn_to_frequency_mhz(126270) == pytest.approx(631.35)
+
+    def test_n77_channel_648672(self):
+        assert nr_arfcn_to_frequency_mhz(648672) == pytest.approx(3730.08)
+
+    def test_mid_raster_region_boundary(self):
+        assert nr_arfcn_to_frequency_mhz(600000) == pytest.approx(3000.0)
+
+    def test_high_raster_region(self):
+        assert nr_arfcn_to_frequency_mhz(2016667) == pytest.approx(24250.08)
+
+    def test_zero_is_valid(self):
+        assert nr_arfcn_to_frequency_mhz(0) == 0.0
+
+    def test_out_of_raster_raises(self):
+        with pytest.raises(ArfcnError):
+            nr_arfcn_to_frequency_mhz(3_279_166)
+
+    def test_negative_raises(self):
+        with pytest.raises(ArfcnError):
+            nr_arfcn_to_frequency_mhz(-1)
+
+    def test_inverse_conversion(self):
+        assert frequency_mhz_to_nr_arfcn(1937.05) == 387410
+
+    def test_inverse_negative_frequency_raises(self):
+        with pytest.raises(ArfcnError):
+            frequency_mhz_to_nr_arfcn(-5.0)
+
+    @given(st.integers(min_value=0, max_value=2_016_666))
+    def test_round_trip_is_identity(self, arfcn):
+        frequency = nr_arfcn_to_frequency_mhz(arfcn)
+        assert frequency_mhz_to_nr_arfcn(frequency) == arfcn
+
+    @given(st.integers(min_value=1, max_value=2_016_666))
+    def test_frequency_monotone_in_arfcn(self, arfcn):
+        assert nr_arfcn_to_frequency_mhz(arfcn) > \
+            nr_arfcn_to_frequency_mhz(arfcn - 1)
+
+
+class TestEarfcn:
+    def test_paper_channel_5815_is_742_mhz_band17(self):
+        assert earfcn_to_frequency_mhz(5815) == pytest.approx(742.5)
+        assert earfcn_band(5815) == 17
+
+    def test_paper_channel_5230_is_751_mhz_band13(self):
+        assert earfcn_to_frequency_mhz(5230) == pytest.approx(751.0)
+        assert earfcn_band(5230) == 13
+
+    def test_paper_channel_5145_is_band12(self):
+        assert earfcn_band(5145) == 12
+        assert earfcn_to_frequency_mhz(5145) == pytest.approx(742.5)
+
+    def test_band2_channel(self):
+        assert earfcn_band(900) == 2
+        assert earfcn_to_frequency_mhz(900) == pytest.approx(1960.0)
+
+    def test_band66_channel(self):
+        assert earfcn_band(66661) == 66
+
+    def test_band5_channel(self):
+        assert earfcn_band(2450) == 5
+
+    def test_band30_channel(self):
+        assert earfcn_band(9820) == 30
+
+    def test_unknown_earfcn_raises(self):
+        with pytest.raises(ArfcnError):
+            earfcn_to_frequency_mhz(40000)
+
+    def test_unknown_band_lookup_raises(self):
+        with pytest.raises(ArfcnError):
+            earfcn_band(40000)
+
+    def test_band_start_is_low_edge_frequency(self):
+        assert earfcn_to_frequency_mhz(5180) == pytest.approx(746.0)

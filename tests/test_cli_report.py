@@ -1,0 +1,83 @@
+"""Tests for the CLI and the text report generators."""
+
+import pytest
+
+from repro.analysis.report import campaign_report, run_report
+from repro.campaign import CampaignConfig, CampaignRunner, operator
+from repro.cli import build_parser, main
+from repro.core.pipeline import analyze_trace
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    config = CampaignConfig(area_names=["A6"], locations_per_area=3,
+                            runs_per_location=2, duration_s=150)
+    return CampaignRunner([operator("OP_A")], config).run()
+
+
+class TestReports:
+    def test_campaign_report_sections(self, small_result):
+        report = campaign_report(small_result)
+        assert "loop ratios" in report
+        assert "OP_A" in report
+        assert "cycle statistics" in report
+        assert "speed impact" in report
+
+    def test_run_report_no_loop(self, s1e3_trace):
+        analysis = analyze_trace(s1e3_trace)
+        report = run_report(analysis)
+        assert "S1E3" in report
+        assert "5G ON/OFF timeline" in report
+        assert "problem cell" in report
+
+    def test_campaign_report_empty(self):
+        from repro.campaign.dataset import CampaignResult
+
+        report = campaign_report(CampaignResult())
+        assert "0 runs" in report
+
+
+class TestCliParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.command == "campaign"
+        assert args.locations == 6
+
+    def test_campaign_operator_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--operator", "OP_X"])
+
+    def test_analyze_requires_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze"])
+
+    def test_simulate_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate"])
+
+
+class TestCliCommands:
+    def test_campaign_command(self, capsys):
+        code = main(["campaign", "--operator", "OP_V", "--areas", "A9",
+                     "--locations", "2", "--runs", "1", "--duration", "100"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loop ratios" in out
+
+    def test_simulate_then_analyze(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.jsonl"
+        code = main(["simulate", "--operator", "OP_T", "--duration", "120",
+                     "--out", str(trace_path)])
+        assert code == 0
+        assert trace_path.exists()
+        capsys.readouterr()
+
+        code = main(["analyze", str(trace_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loop:" in out
+        assert "timeline" in out

@@ -1,0 +1,284 @@
+"""Tests for serving cell set extraction (Appendix B replay)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cells.cell import CellIdentity, Rat
+from repro.core.cellset import (
+    CellSet,
+    CellSetInterval,
+    extract_cellset_sequence,
+    five_g_timeline,
+)
+from repro.traces.records import (
+    MmStateRecord,
+    RrcReconfigurationRecord,
+    RrcReestablishmentCompleteRecord,
+    RrcReestablishmentRequestRecord,
+    RrcReleaseRecord,
+    RrcSetupCompleteRecord,
+    ScellAddMod,
+)
+from tests.conftest import cell_id
+
+P41 = cell_id(393, 521310)
+S41 = cell_id(393, 501390)
+S25A = cell_id(273, 387410)
+S25B = cell_id(371, 387410)
+LTE_P = cell_id(380, 5145, Rat.LTE)
+LTE_P2 = cell_id(380, 5815, Rat.LTE)
+NR_PS = cell_id(66, 632736)
+
+
+class TestCellSet:
+    def test_idle_set(self):
+        assert CellSet().is_idle
+        assert not CellSet().five_g_on
+
+    def test_sa_is_5g_on(self):
+        assert CellSet(pcell=P41).five_g_on
+
+    def test_lte_only_is_off(self):
+        assert not CellSet(pcell=LTE_P).five_g_on
+
+    def test_nsa_with_scg_is_on(self):
+        assert CellSet(pcell=LTE_P, scg_pscell=NR_PS).five_g_on
+
+    def test_all_cells(self):
+        cellset = CellSet(pcell=LTE_P, mcg_scells=frozenset({LTE_P2}),
+                          scg_pscell=NR_PS, scg_scells=frozenset({S25A}))
+        assert cellset.all_cells() == frozenset({LTE_P, LTE_P2, NR_PS, S25A})
+
+    def test_nr_cells_filters_rat(self):
+        cellset = CellSet(pcell=LTE_P, scg_pscell=NR_PS)
+        assert cellset.nr_cells() == frozenset({NR_PS})
+
+    def test_hashable_and_comparable(self):
+        a = CellSet(pcell=P41, mcg_scells=frozenset({S41}))
+        b = CellSet(pcell=P41, mcg_scells=frozenset({S41}))
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_str_idle(self):
+        assert str(CellSet()) == "{IDLE}"
+
+
+class TestReplay:
+    def test_empty_records(self):
+        assert extract_cellset_sequence([]) == []
+
+    def test_setup_creates_pcell(self):
+        records = [RrcSetupCompleteRecord(time_s=1.0, cell=P41)]
+        intervals = extract_cellset_sequence(records, end_time_s=10.0)
+        assert intervals[0].cellset.is_idle
+        assert intervals[-1].cellset.pcell == P41
+        assert intervals[-1].end_s == 10.0
+
+    def test_scell_addition(self):
+        records = [
+            RrcSetupCompleteRecord(time_s=1.0, cell=P41),
+            RrcReconfigurationRecord(time_s=3.0, pcell=P41,
+                                     scell_add_mod=(ScellAddMod(1, S25A),
+                                                    ScellAddMod(2, S41))),
+        ]
+        intervals = extract_cellset_sequence(records, end_time_s=10.0)
+        assert intervals[-1].cellset.mcg_scells == frozenset({S25A, S41})
+
+    def test_release_by_index_tracks_the_right_cell(self):
+        """sCellToReleaseList carries indices — the Figure 26 bookkeeping."""
+        records = [
+            RrcSetupCompleteRecord(time_s=1.0, cell=P41),
+            RrcReconfigurationRecord(time_s=3.0, pcell=P41,
+                                     scell_add_mod=(ScellAddMod(1, S25A),
+                                                    ScellAddMod(2, S41))),
+            # Modification: add S25B at index 3, release index 1 (= S25A).
+            RrcReconfigurationRecord(time_s=5.0, pcell=P41,
+                                     scell_add_mod=(ScellAddMod(3, S25B),),
+                                     scell_release_indices=(1,)),
+        ]
+        intervals = extract_cellset_sequence(records, end_time_s=10.0)
+        assert intervals[-1].cellset.mcg_scells == frozenset({S25B, S41})
+
+    def test_release_unknown_index_is_noop(self):
+        records = [
+            RrcSetupCompleteRecord(time_s=1.0, cell=P41),
+            RrcReconfigurationRecord(time_s=3.0, pcell=P41,
+                                     scell_release_indices=(7,)),
+        ]
+        intervals = extract_cellset_sequence(records, end_time_s=10.0)
+        assert len(intervals) == 2  # only IDLE -> connected
+
+    def test_mm_deregistered_releases_all(self):
+        records = [
+            RrcSetupCompleteRecord(time_s=1.0, cell=P41),
+            MmStateRecord(time_s=5.0, state="DEREGISTERED",
+                          substate="NO_CELL_AVAILABLE"),
+        ]
+        intervals = extract_cellset_sequence(records, end_time_s=10.0)
+        assert intervals[-1].cellset.is_idle
+
+    def test_mm_registered_is_ignored(self):
+        records = [
+            RrcSetupCompleteRecord(time_s=1.0, cell=P41),
+            MmStateRecord(time_s=5.0, state="REGISTERED"),
+        ]
+        intervals = extract_cellset_sequence(records, end_time_s=10.0)
+        assert intervals[-1].cellset.pcell == P41
+
+    def test_rrc_release(self):
+        records = [
+            RrcSetupCompleteRecord(time_s=1.0, cell=P41),
+            RrcReleaseRecord(time_s=6.0),
+        ]
+        intervals = extract_cellset_sequence(records, end_time_s=10.0)
+        assert intervals[-1].cellset.is_idle
+
+    def test_handover_clears_mcg_scells(self):
+        records = [
+            RrcSetupCompleteRecord(time_s=1.0, cell=LTE_P),
+            RrcReconfigurationRecord(time_s=2.0, pcell=LTE_P,
+                                     scell_add_mod=(ScellAddMod(1, LTE_P2),)),
+            RrcReconfigurationRecord(time_s=4.0, pcell=LTE_P,
+                                     handover_target=LTE_P2),
+        ]
+        intervals = extract_cellset_sequence(records, end_time_s=10.0)
+        final = intervals[-1].cellset
+        assert final.pcell == LTE_P2
+        assert not final.mcg_scells
+
+    def test_scg_lifecycle(self):
+        records = [
+            RrcSetupCompleteRecord(time_s=1.0, cell=LTE_P),
+            RrcReconfigurationRecord(time_s=2.0, pcell=LTE_P,
+                                     scg_pscell=NR_PS, scg_scells=(S25A,)),
+            RrcReconfigurationRecord(time_s=8.0, pcell=LTE_P, release_scg=True),
+        ]
+        intervals = extract_cellset_sequence(records, end_time_s=10.0)
+        assert intervals[-2].cellset.scg_pscell == NR_PS
+        assert intervals[-2].cellset.scg_scells == frozenset({S25A})
+        assert intervals[-1].cellset.scg_pscell is None
+
+    def test_handover_keeping_scg(self):
+        records = [
+            RrcSetupCompleteRecord(time_s=1.0, cell=LTE_P),
+            RrcReconfigurationRecord(time_s=2.0, pcell=LTE_P, scg_pscell=NR_PS),
+            RrcReconfigurationRecord(time_s=4.0, pcell=LTE_P,
+                                     handover_target=LTE_P2),
+        ]
+        intervals = extract_cellset_sequence(records, end_time_s=10.0)
+        final = intervals[-1].cellset
+        assert final.pcell == LTE_P2
+        assert final.scg_pscell == NR_PS
+
+    def test_reestablishment_request_goes_idle_then_complete_restores(self):
+        records = [
+            RrcSetupCompleteRecord(time_s=1.0, cell=LTE_P),
+            RrcReconfigurationRecord(time_s=2.0, pcell=LTE_P, scg_pscell=NR_PS),
+            RrcReestablishmentRequestRecord(time_s=5.0, cause="otherFailure"),
+            RrcReestablishmentCompleteRecord(time_s=5.5, cell=LTE_P2),
+        ]
+        intervals = extract_cellset_sequence(records, end_time_s=10.0)
+        assert intervals[-2].cellset.is_idle
+        assert intervals[-1].cellset.pcell == LTE_P2
+        assert intervals[-1].cellset.scg_pscell is None
+
+    def test_consecutive_identical_sets_merge(self):
+        records = [
+            RrcSetupCompleteRecord(time_s=1.0, cell=P41),
+            RrcSetupCompleteRecord(time_s=2.0, cell=P41),  # same outcome
+        ]
+        intervals = extract_cellset_sequence(records, end_time_s=10.0)
+        assert len(intervals) == 2
+
+    def test_intervals_are_contiguous(self, s1e3_trace):
+        intervals = extract_cellset_sequence(s1e3_trace.signaling_records())
+        for previous, current in zip(intervals, intervals[1:]):
+            assert previous.end_s == pytest.approx(current.start_s)
+
+
+class TestTimeline:
+    def test_merges_adjacent_same_state(self):
+        intervals = [
+            CellSetInterval(CellSet(), 0.0, 1.0),
+            CellSetInterval(CellSet(pcell=P41), 1.0, 3.0),
+            CellSetInterval(CellSet(pcell=P41, mcg_scells=frozenset({S41})),
+                            3.0, 5.0),
+            CellSetInterval(CellSet(), 5.0, 9.0),
+        ]
+        timeline = five_g_timeline(intervals)
+        assert timeline == [(False, 0.0, 1.0), (True, 1.0, 5.0),
+                            (False, 5.0, 9.0)]
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=30))
+    def test_timeline_alternates(self, states):
+        intervals = []
+        t = 0.0
+        for index, on in enumerate(states):
+            cellset = CellSet(pcell=P41 if on else None)
+            intervals.append(CellSetInterval(cellset, t, t + 1.0))
+            t += 1.0
+        timeline = five_g_timeline(intervals)
+        for previous, current in zip(timeline, timeline[1:]):
+            assert previous[0] != current[0]
+        assert sum(segment[2] - segment[1] for segment in timeline) == \
+            pytest.approx(len(states))
+
+
+class TestTrackerFuzz:
+    """Random reconfiguration interleavings keep the tracker consistent."""
+
+    @given(st.lists(st.tuples(st.sampled_from(["add", "release", "scg",
+                                               "drop_scg", "handover",
+                                               "reset"]),
+                              st.integers(min_value=1, max_value=5)),
+                    max_size=25))
+    def test_tracker_matches_reference_fold(self, operations):
+        from repro.traces.records import (
+            RrcReconfigurationRecord,
+            RrcReleaseRecord,
+            ScellAddMod,
+        )
+
+        records = [RrcSetupCompleteRecord(time_s=0.0, cell=LTE_P)]
+        # Reference state
+        pcell = LTE_P
+        table: dict[int, object] = {}
+        scg = None
+        t = 1.0
+        for op, index in operations:
+            if op == "add":
+                cell = cell_id(100 + index, 387410)
+                records.append(RrcReconfigurationRecord(
+                    time_s=t, pcell=pcell,
+                    scell_add_mod=(ScellAddMod(index, cell),)))
+                table[index] = cell
+            elif op == "release":
+                records.append(RrcReconfigurationRecord(
+                    time_s=t, pcell=pcell, scell_release_indices=(index,)))
+                table.pop(index, None)
+            elif op == "scg":
+                records.append(RrcReconfigurationRecord(
+                    time_s=t, pcell=pcell, scg_pscell=NR_PS))
+                scg = NR_PS
+            elif op == "drop_scg":
+                records.append(RrcReconfigurationRecord(
+                    time_s=t, pcell=pcell, release_scg=True))
+                scg = None
+            elif op == "handover":
+                records.append(RrcReconfigurationRecord(
+                    time_s=t, pcell=pcell, handover_target=LTE_P2))
+                pcell = LTE_P2
+                table.clear()
+            else:  # reset
+                records.append(RrcReleaseRecord(time_s=t))
+                records.append(RrcSetupCompleteRecord(time_s=t + 0.1,
+                                                      cell=LTE_P))
+                pcell = LTE_P
+                table.clear()
+                scg = None
+            t += 1.0
+        intervals = extract_cellset_sequence(records, end_time_s=t + 1.0)
+        final = intervals[-1].cellset
+        assert final.pcell == pcell
+        assert final.mcg_scells == frozenset(table.values())
+        assert final.scg_pscell == scg

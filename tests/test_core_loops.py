@@ -1,0 +1,180 @@
+"""Tests for ON-OFF loop detection (Figure 4 semantics)."""
+
+from hypothesis import given, strategies as st
+
+from repro.cells.cell import Rat
+from repro.core.cellset import CellSet, CellSetInterval
+from repro.core.loops import LoopKind, dedup_sequence, detect_loop
+from tests.conftest import cell_id
+
+IDLE = CellSet()
+ON_A = CellSet(pcell=cell_id(393, 521310))
+ON_B = CellSet(pcell=cell_id(393, 521310),
+               mcg_scells=frozenset({cell_id(273, 387410)}))
+ON_C = CellSet(pcell=cell_id(104, 501390))
+OFF_LTE = CellSet(pcell=cell_id(380, 5145, rat=Rat.LTE))
+
+
+def seq(*cellsets: CellSet) -> list[CellSetInterval]:
+    intervals = []
+    for index, cellset in enumerate(cellsets):
+        intervals.append(CellSetInterval(cellset, float(index), float(index + 1)))
+    return intervals
+
+
+class TestNoLoop:
+    def test_empty(self):
+        assert detect_loop([]).kind is LoopKind.NO_LOOP
+
+    def test_single_on_period(self):
+        assert detect_loop(seq(IDLE, ON_A, ON_B)).kind is LoopKind.NO_LOOP
+
+    def test_single_on_off_cycle_is_not_a_loop(self):
+        # One occurrence is not "repeated twice or more".
+        assert detect_loop(seq(IDLE, ON_A, IDLE)).kind is LoopKind.NO_LOOP
+
+    def test_all_off_never_loops(self):
+        assert detect_loop(seq(IDLE, OFF_LTE, IDLE, OFF_LTE)).kind \
+            is LoopKind.NO_LOOP
+
+    def test_all_on_never_loops(self):
+        assert detect_loop(seq(ON_A, ON_B, ON_A, ON_B)).kind is LoopKind.NO_LOOP
+
+
+class TestDetection:
+    def test_period_two_loop(self):
+        detection = detect_loop(seq(ON_A, IDLE, ON_A, IDLE))
+        assert detection.kind is LoopKind.PERSISTENT
+        assert detection.period == 2
+        assert detection.repetitions == 2
+
+    def test_period_three_loop_with_rotation(self):
+        # The OFF set sits mid-block: detection must still find the loop
+        # and canonicalise the block to start at an ON following an OFF.
+        detection = detect_loop(seq(ON_A, OFF_LTE, ON_B, ON_A, OFF_LTE, ON_B))
+        assert detection.is_loop
+        assert detection.period == 3
+        block = detection.block
+        assert block[0].five_g_on
+        assert not block[-1].five_g_on or not block[1].five_g_on
+
+    def test_leading_noise_skipped(self):
+        detection = detect_loop(seq(IDLE, ON_C, ON_A, IDLE, ON_A, IDLE, ON_A))
+        assert detection.is_loop
+        assert detection.start_index >= 1
+
+    def test_repetition_count(self):
+        detection = detect_loop(seq(ON_A, IDLE, ON_A, IDLE, ON_A, IDLE))
+        assert detection.repetitions == 3
+
+    def test_min_repetitions_honoured(self):
+        intervals = seq(ON_A, IDLE, ON_A, IDLE)
+        assert detect_loop(intervals, min_repetitions=3).kind is LoopKind.NO_LOOP
+
+    def test_consecutive_duplicates_merged_before_detection(self):
+        intervals = seq(ON_A, ON_A, IDLE, ON_A, ON_A, IDLE)
+        detection = detect_loop(intervals)
+        assert detection.is_loop
+        assert detection.period == 2
+
+    def test_canonical_block_starts_on(self):
+        detection = detect_loop(seq(IDLE, ON_A, ON_B, IDLE, ON_A, ON_B, IDLE))
+        assert detection.is_loop
+        assert detection.block[0].five_g_on
+        assert not detection.block[-1].five_g_on
+
+
+class TestPersistence:
+    def test_persistent_when_run_ends_in_loop(self):
+        detection = detect_loop(seq(ON_A, IDLE, ON_A, IDLE, ON_A))
+        assert detection.kind is LoopKind.PERSISTENT
+
+    def test_semi_persistent_when_loop_exited(self):
+        detection = detect_loop(seq(ON_A, IDLE, ON_A, IDLE, ON_C, ON_C))
+        assert detection.kind is LoopKind.SEMI_PERSISTENT
+
+    def test_exit_to_lte_only_is_semi_persistent(self):
+        detection = detect_loop(seq(ON_A, IDLE, ON_A, IDLE, OFF_LTE))
+        assert detection.kind is LoopKind.SEMI_PERSISTENT
+
+
+class TestDedup:
+    def test_dedup_removes_consecutive_only(self):
+        sequence = dedup_sequence(seq(ON_A, ON_A, IDLE, ON_A))
+        assert sequence == [ON_A, IDLE, ON_A]
+
+    def test_dedup_empty(self):
+        assert dedup_sequence([]) == []
+
+
+@st.composite
+def loop_sequences(draw):
+    """A random block (with both states) repeated 2-4 times plus noise."""
+    block_size = draw(st.integers(min_value=2, max_value=4))
+    candidates = [ON_A, ON_B, ON_C, IDLE, OFF_LTE]
+    block = [candidates[draw(st.integers(0, len(candidates) - 1))]
+             for _ in range(block_size)]
+    # Force both states into the block and no consecutive duplicates.
+    block[0] = ON_A
+    block[1] = IDLE
+    deduped = [block[0]]
+    for cellset in block[1:]:
+        if cellset != deduped[-1]:
+            deduped.append(cellset)
+    if deduped[0] == deduped[-1] and len(deduped) > 1:
+        deduped.pop()
+    repetitions = draw(st.integers(min_value=2, max_value=4))
+    return deduped * repetitions
+
+
+class TestProperties:
+    @given(loop_sequences())
+    def test_planted_loops_are_found(self, cellsets):
+        detection = detect_loop(seq(*cellsets))
+        assert detection.is_loop
+
+    @given(loop_sequences())
+    def test_reported_block_really_repeats(self, cellsets):
+        detection = detect_loop(seq(*cellsets))
+        sequence = dedup_sequence(seq(*cellsets))
+        start, period = detection.start_index, detection.period
+        assert len(detection.block) == period
+        # The raw block at (start, period) repeats at least twice...
+        raw = sequence[start:start + period]
+        assert sequence[start + period:start + 2 * period] == raw
+        # ...and the reported block is one of its rotations.
+        rotations = [tuple(raw[shift:] + raw[:shift]) for shift in range(period)]
+        assert detection.block in rotations
+
+    @given(loop_sequences())
+    def test_block_contains_both_states(self, cellsets):
+        detection = detect_loop(seq(*cellsets))
+        assert any(cellset.five_g_on for cellset in detection.block)
+        assert any(not cellset.five_g_on for cellset in detection.block)
+
+
+class TestRobustness:
+    @given(loop_sequences())
+    def test_detection_survives_prefix_noise(self, cellsets):
+        noise = CellSet(pcell=cell_id(999, 521310))
+        noisy = seq(noise, IDLE, *cellsets)
+        assert detect_loop(noisy).is_loop
+
+    @given(loop_sequences())
+    def test_persistent_becomes_semi_after_exit(self, cellsets):
+        exit_set = CellSet(pcell=cell_id(998, 521310),
+                           mcg_scells=frozenset({cell_id(1, 387410)}))
+        exited = seq(*cellsets, exit_set)
+        detection = detect_loop(exited)
+        if detection.is_loop and exit_set not in detection.block:
+            assert detection.kind is LoopKind.SEMI_PERSISTENT
+
+    def test_long_sequence_is_tractable(self):
+        import time
+
+        cellsets = [ON_A, ON_B, IDLE] * 60  # 180 entries
+        start = time.perf_counter()
+        detection = detect_loop(seq(*cellsets))
+        elapsed = time.perf_counter() - start
+        assert detection.is_loop
+        assert elapsed < 1.0

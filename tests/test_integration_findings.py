@@ -1,0 +1,141 @@
+"""Integration tests: the paper's headline findings hold on small campaigns.
+
+These run scaled-down versions of the measurement campaign and assert
+the *shape* of each finding (who loops, which sub-types appear, how long
+OFF periods last) — the same checks the benchmarks print at full scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import figures
+from repro.campaign import CampaignConfig, CampaignRunner, operator
+from repro.core.classify import LoopSubtype
+from repro.core.loops import LoopKind
+
+
+@pytest.fixture(scope="module")
+def op_t_result():
+    config = CampaignConfig(area_names=["A1"], a1_locations=8,
+                            a1_runs_per_location=4, duration_s=300)
+    return CampaignRunner([operator("OP_T")], config).run()
+
+
+@pytest.fixture(scope="module")
+def op_a_result():
+    config = CampaignConfig(locations_per_area=6, runs_per_location=4,
+                            duration_s=300)
+    return CampaignRunner([operator("OP_A")], config).run()
+
+
+@pytest.fixture(scope="module")
+def op_v_result():
+    config = CampaignConfig(locations_per_area=6, runs_per_location=4,
+                            duration_s=300)
+    return CampaignRunner([operator("OP_V")], config).run()
+
+
+class TestF1LoopsCommon:
+    def test_loops_observed_with_every_operator(self, op_t_result, op_a_result,
+                                                op_v_result):
+        for result in (op_t_result, op_a_result, op_v_result):
+            assert 0.15 < result.loop_ratio() < 0.9
+
+    def test_loops_mostly_persistent(self, op_t_result, op_a_result,
+                                     op_v_result):
+        for result in (op_t_result, op_a_result, op_v_result):
+            assert figures.persistent_share_of_loops(result) > 0.5
+
+
+class TestF2LoopsWidespread:
+    def test_loops_at_multiple_locations(self, op_t_result):
+        likelihoods = op_t_result.loop_likelihood_per_location()
+        with_loops = [l for l in likelihoods.values() if l > 0]
+        assert len(with_loops) >= len(likelihoods) // 2
+
+
+class TestF3F4Performance:
+    def test_op_t_off_speed_near_zero(self, op_t_result):
+        series = figures.fig11_speed(op_t_result)["OP_T"]
+        off_values = [value for value, _f in series["off"]]
+        assert off_values and max(off_values) < 5.0
+
+    def test_op_t_on_speed_fast(self, op_t_result):
+        series = figures.fig11_speed(op_t_result)["OP_T"]
+        on_values = [value for value, _f in series["on"]]
+        assert np.median(on_values) > 80.0
+
+    def test_nsa_off_keeps_4g_speed(self, op_v_result):
+        series = figures.fig11_speed(op_v_result)["OP_V"]
+        off_values = [value for value, _f in series["off"]]
+        assert off_values and np.median(off_values) > 5.0
+
+    def test_cycles_every_tens_of_seconds(self, op_t_result):
+        cycles = op_t_result.all_cycles()
+        median_cycle = np.median([c.cycle_s for c in cycles])
+        assert 10.0 < median_cycle < 120.0
+
+
+class TestF7Subtypes:
+    def test_op_t_loops_are_s1(self, op_t_result):
+        for subtype in op_t_result.subtype_breakdown():
+            assert subtype.loop_type == "S1"
+
+    def test_nsa_loops_are_n_types(self, op_a_result, op_v_result):
+        for result in (op_a_result, op_v_result):
+            for subtype in result.subtype_breakdown():
+                assert subtype.loop_type in ("N1", "N2")
+
+    def test_n2_dominant_for_nsa(self, op_a_result):
+        breakdown = op_a_result.subtype_breakdown()
+        n2_share = sum(share for subtype, share in breakdown.items()
+                       if subtype.loop_type == "N2")
+        assert n2_share > 0.5
+
+    def test_no_legacy_a2b1_loops(self, op_a_result, op_v_result):
+        # F12: the prior-work loop type does not occur with current policy.
+        for result in (op_a_result, op_v_result):
+            assert LoopSubtype.N2_A2B1 not in result.subtype_breakdown()
+
+
+class TestF14ProblemChannels:
+    def test_387410_dominates_op_t_loops(self, op_t_result):
+        from repro.core.channels import channel_usage_breakdown
+
+        usage = channel_usage_breakdown(op_t_result.analyses)
+        if "loop" in usage and 387410 in usage["loop"]:
+            no_loop_share = usage.get("no-loop", {}).get(387410, 0.0)
+            assert usage["loop"][387410] >= no_loop_share
+
+
+class TestF15OffTimes:
+    def test_op_v_n2e2_off_times_cluster_at_30s_multiples(self, op_v_result):
+        grouped = op_v_result.cycles_by_subtype()
+        n2e2 = grouped.get(LoopSubtype.N2E2, [])
+        if not n2e2:
+            pytest.skip("no N2E2 cycles in this small campaign")
+        offs = [cycle.off_s for cycle in n2e2]
+        assert np.median(offs) > 20.0
+
+    def test_op_v_n2e1_off_times_transient(self, op_v_result):
+        grouped = op_v_result.cycles_by_subtype()
+        n2e1 = grouped.get(LoopSubtype.N2E1, [])
+        if not n2e1:
+            pytest.skip("no N2E1 cycles in this small campaign")
+        offs = [cycle.off_s for cycle in n2e1]
+        assert np.median(offs) < 5.0
+
+    def test_op_a_recovers_measurement_quickly(self, op_a_result):
+        delays = []
+        for run in op_a_result.runs:
+            delays.extend(run.analysis.scg_meas_delays)
+        if not delays:
+            pytest.skip("no SCG failures in this small campaign")
+        assert np.median(delays) < 10.0
+
+
+class TestSemiPersistent:
+    def test_semi_persistent_minority(self, op_t_result):
+        ratios = op_t_result.loop_kind_ratios()
+        assert ratios[LoopKind.SEMI_PERSISTENT] <= \
+            ratios[LoopKind.PERSISTENT] + 0.05

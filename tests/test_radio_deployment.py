@@ -1,0 +1,104 @@
+"""Tests for synthetic area deployments."""
+
+import pytest
+
+from repro.cells.cell import Rat
+from repro.radio.deployment import ChannelPlan, build_area_deployment
+from repro.radio.geometry import Area
+from repro.radio.propagation import PropagationModel
+
+
+def _plan(channel=521310, rat=Rat.NR, fraction=1.0, phase=0, sectorized=False):
+    return ChannelPlan(channel=channel, rat=rat, width_mhz=20.0,
+                       tx_power_dbm=20.0, site_fraction=fraction,
+                       site_phase=phase, sectorized=sectorized)
+
+
+@pytest.fixture
+def area():
+    return Area("T", 1400.0, 1400.0)
+
+
+@pytest.fixture
+def model():
+    return PropagationModel(seed=5)
+
+
+class TestDeployment:
+    def test_requires_plans(self, area, model):
+        with pytest.raises(ValueError):
+            build_area_deployment(area, [], model)
+
+    def test_invalid_fraction_rejected(self, area, model):
+        with pytest.raises(ValueError):
+            build_area_deployment(area, [_plan(fraction=0.0)], model)
+        with pytest.raises(ValueError):
+            build_area_deployment(area, [_plan(fraction=1.5)], model)
+
+    def test_full_fraction_uses_every_site(self, area, model):
+        deployment = build_area_deployment(area, [_plan()], model)
+        assert len(deployment.environment.cells) == len(deployment.sites)
+
+    def test_half_fraction_uses_half_the_sites(self, area, model):
+        deployment = build_area_deployment(area, [_plan(fraction=0.5)], model)
+        expected = len([i for i in range(len(deployment.sites)) if i % 2 == 0])
+        assert len(deployment.environment.cells) == expected
+
+    def test_phase_offsets_site_selection(self, area, model):
+        plans = [_plan(channel=387410, fraction=0.5, phase=0),
+                 _plan(channel=398410, fraction=0.5, phase=1)]
+        deployment = build_area_deployment(area, plans, model)
+        sites_a = {cell.site_xy_m for cell in
+                   deployment.environment.cells_on_channel(387410, Rat.NR)}
+        sites_b = {cell.site_xy_m for cell in
+                   deployment.environment.cells_on_channel(398410, Rat.NR)}
+        assert not sites_a & sites_b
+
+    def test_co_sited_cells_share_pci(self, area, model):
+        plans = [_plan(channel=521310), _plan(channel=501390)]
+        deployment = build_area_deployment(area, plans, model)
+        by_site: dict[tuple, set[int]] = {}
+        for cell in deployment.environment.cells:
+            by_site.setdefault(cell.site_xy_m, set()).add(cell.pci)
+        assert all(len(pcis) == 1 for pcis in by_site.values())
+
+    def test_pcis_unique_across_sites(self, area, model):
+        deployment = build_area_deployment(area, [_plan()], model)
+        pcis = [cell.pci for cell in deployment.environment.cells]
+        assert len(set(pcis)) == len(pcis)
+
+    def test_sites_inside_area(self, area, model):
+        deployment = build_area_deployment(area, [_plan()], model)
+        assert all(area.contains(site) for site in deployment.sites)
+
+    def test_deterministic_given_seed(self, area, model):
+        first = build_area_deployment(area, [_plan()], model, seed=3)
+        second = build_area_deployment(area, [_plan()],
+                                       PropagationModel(seed=5), seed=3)
+        assert [c.identity for c in first.environment.cells] == \
+            [c.identity for c in second.environment.cells]
+        assert first.sites == second.sites
+
+    def test_sectorized_plan_assigns_azimuths(self, area, model):
+        deployment = build_area_deployment(area, [_plan(sectorized=True)], model)
+        azimuths = [cell.azimuth_deg for cell in deployment.environment.cells]
+        assert all(azimuth is not None for azimuth in azimuths)
+        assert len(set(azimuths)) > 1  # azimuths vary across sites
+
+    def test_omni_plan_has_no_azimuth(self, area, model):
+        deployment = build_area_deployment(area, [_plan()], model)
+        assert all(cell.azimuth_deg is None
+                   for cell in deployment.environment.cells)
+
+    def test_tags_propagate_to_cells(self, area, model):
+        plan = ChannelPlan(channel=387410, rat=Rat.NR, width_mhz=10.0,
+                           tags=frozenset({"problem-channel"}))
+        deployment = build_area_deployment(area, [plan], model)
+        assert deployment.cells_with_tag("problem-channel")
+        assert not deployment.cells_with_tag("nonexistent")
+
+    def test_tiny_area_still_gets_a_site(self, model):
+        tiny = Area("tiny", 50.0, 50.0)
+        deployment = build_area_deployment(tiny, [_plan()], model,
+                                           site_spacing_m=450.0)
+        assert len(deployment.sites) >= 1

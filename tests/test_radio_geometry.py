@@ -1,0 +1,98 @@
+"""Tests for planar geometry helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.radio.geometry import (
+    Area,
+    Point,
+    angular_difference_deg,
+    bearing_deg,
+    distance_m,
+    grid_points,
+)
+
+finite = st.floats(min_value=-1e5, max_value=1e5, allow_nan=False)
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_offset(self):
+        assert Point(1, 2).offset(3, -1) == Point(4, 1)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+    def test_distance_m_accepts_tuples(self):
+        assert distance_m((0, 0), Point(0, 5)) == pytest.approx(5.0)
+
+    @given(finite, finite, finite, finite)
+    def test_distance_symmetry(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(finite, finite)
+    def test_distance_to_self_is_zero(self, x, y):
+        assert Point(x, y).distance_to(Point(x, y)) == 0.0
+
+
+class TestArea:
+    def test_size_km2(self):
+        assert Area("A1", 2000.0, 1500.0).size_km2 == pytest.approx(3.0)
+
+    def test_contains(self):
+        area = Area("A", 100.0, 100.0)
+        assert area.contains(Point(50, 50))
+        assert not area.contains(Point(150, 50))
+        assert area.contains(Point(0, 0))
+
+    def test_clamp(self):
+        area = Area("A", 100.0, 100.0)
+        assert area.clamp(Point(-5, 120)) == Point(0.0, 100.0)
+
+    def test_centre(self):
+        assert Area("A", 100.0, 60.0).centre == Point(50.0, 30.0)
+
+
+class TestGrid:
+    def test_grid_covers_area(self):
+        area = Area("A", 100.0, 100.0)
+        points = list(grid_points(area, spacing_m=50.0))
+        assert len(points) == 9
+        assert all(area.contains(point) for point in points)
+
+    def test_grid_with_margin(self):
+        area = Area("A", 100.0, 100.0)
+        points = list(grid_points(area, spacing_m=40.0, margin_m=10.0))
+        assert all(10.0 <= point.x_m <= 90.0 for point in points)
+
+    def test_invalid_spacing_raises(self):
+        with pytest.raises(ValueError):
+            list(grid_points(Area("A", 10, 10), spacing_m=0))
+
+
+class TestBearing:
+    def test_north_is_zero(self):
+        assert bearing_deg(Point(0, 0), Point(0, 10)) == pytest.approx(0.0)
+
+    def test_east_is_ninety(self):
+        assert bearing_deg(Point(0, 0), Point(10, 0)) == pytest.approx(90.0)
+
+    def test_south_is_180(self):
+        assert bearing_deg(Point(0, 0), Point(0, -10)) == pytest.approx(180.0)
+
+    def test_west_is_270(self):
+        assert bearing_deg(Point(0, 0), Point(-10, 0)) == pytest.approx(270.0)
+
+    @given(st.floats(min_value=0, max_value=360, exclude_max=True),
+           st.floats(min_value=0, max_value=360, exclude_max=True))
+    def test_angular_difference_bounded(self, a, b):
+        difference = angular_difference_deg(a, b)
+        assert 0.0 <= difference <= 180.0
+
+    def test_angular_difference_wraps(self):
+        assert angular_difference_deg(350.0, 10.0) == pytest.approx(20.0)

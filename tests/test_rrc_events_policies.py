@@ -1,0 +1,125 @@
+"""Tests for measurement events, policies and device capabilities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cells.cell import Rat
+from repro.rrc.capabilities import DeviceCapabilities
+from repro.rrc.events import (
+    EventConfig,
+    a2_triggered,
+    a3_triggered,
+    a5_triggered,
+    b1_triggered,
+)
+from repro.rrc.policies import ChannelPolicy, OperatorPolicy
+
+values = st.floats(min_value=-140.0, max_value=-40.0)
+
+
+class TestEvents:
+    def test_a2_fires_below_threshold(self):
+        config = EventConfig("A2", threshold_dbm=-110.0)
+        assert a2_triggered(-111.0, config)
+        assert not a2_triggered(-109.0, config)
+
+    def test_a2_wrong_event_raises(self):
+        with pytest.raises(ValueError):
+            a2_triggered(-100.0, EventConfig("A3"))
+
+    def test_a3_fires_above_offset(self):
+        config = EventConfig("A3", offset_db=6.0)
+        assert a3_triggered(-90.0, -83.0, config)
+        assert not a3_triggered(-90.0, -85.0, config)
+
+    def test_a3_wrong_event_raises(self):
+        with pytest.raises(ValueError):
+            a3_triggered(-90.0, -80.0, EventConfig("B1"))
+
+    def test_a5_requires_both_conditions(self):
+        assert a5_triggered(-120.0, -100.0, -118.0, -105.0)
+        assert not a5_triggered(-110.0, -100.0, -118.0, -105.0)
+        assert not a5_triggered(-120.0, -110.0, -118.0, -105.0)
+
+    def test_b1_fires_above_threshold(self):
+        config = EventConfig("B1", threshold_dbm=-115.0)
+        assert b1_triggered(-114.0, config)
+        assert not b1_triggered(-116.0, config)
+
+    def test_b1_wrong_event_raises(self):
+        with pytest.raises(ValueError):
+            b1_triggered(-100.0, EventConfig("A2"))
+
+    @given(values, values)
+    def test_a3_antisymmetric(self, serving, neighbour):
+        config = EventConfig("A3", offset_db=6.0)
+        both = a3_triggered(serving, neighbour, config) and \
+            a3_triggered(neighbour, serving, config)
+        assert not both  # with a positive offset, A3 cannot fire both ways
+
+    @given(values)
+    def test_a2_b1_inconsistency_window(self, value):
+        """F12's legacy loop: theta_B1 < theta_A2 makes both fire at once."""
+        a2 = EventConfig("A2", threshold_dbm=-105.0)
+        b1 = EventConfig("B1", threshold_dbm=-115.0)
+        if -115.0 < value < -105.0:
+            assert a2_triggered(value, a2) and b1_triggered(value, b1)
+
+    def test_event_watches_channel(self):
+        assert EventConfig("A3", channel=0).watches(387410)
+        assert EventConfig("A3", channel=387410).watches(387410)
+        assert not EventConfig("A3", channel=398410).watches(387410)
+
+    def test_as_tuple_uses_offset_for_a3(self):
+        assert EventConfig("A3", 387410, offset_db=6.0).as_tuple() == \
+            ("A3", 387410, 6.0)
+        assert EventConfig("B1", 387410, threshold_dbm=-115.0).as_tuple() == \
+            ("B1", 387410, -115.0)
+
+
+class TestOperatorPolicy:
+    def test_channel_policy_default_is_permissive(self):
+        policy = OperatorPolicy(name="X")
+        default = policy.channel_policy(12345, Rat.LTE)
+        assert default.allows_scg
+        assert default.redirect_on_5g_report_to is None
+        assert not default.drops_scg_on_entry
+
+    def test_channel_policy_lookup(self):
+        policy = OperatorPolicy(name="X", channel_policies={
+            5815: ChannelPolicy(5815, Rat.LTE, allows_scg=False)})
+        assert not policy.channel_policy(5815, Rat.LTE).allows_scg
+
+    def test_channel_policy_requires_matching_rat(self):
+        policy = OperatorPolicy(name="X", channel_policies={
+            5815: ChannelPolicy(5815, Rat.LTE, allows_scg=False)})
+        # The same number on the other RAT falls back to the default.
+        assert policy.channel_policy(5815, Rat.NR).allows_scg
+
+    def test_scg_allowed_on(self):
+        policy = OperatorPolicy(name="X", channel_policies={
+            5815: ChannelPolicy(5815, Rat.LTE, allows_scg=False)})
+        assert not policy.scg_allowed_on(5815)
+        assert policy.scg_allowed_on(5145)
+
+    def test_is_sa(self):
+        assert OperatorPolicy(name="X", mode="SA").is_sa
+        assert not OperatorPolicy(name="X", mode="NSA").is_sa
+
+
+class TestDeviceCapabilities:
+    def test_nsa_support_default_all(self):
+        device = DeviceCapabilities(name="Any")
+        assert device.supports_nsa_with("OP_A")
+
+    def test_nsa_support_restricted(self):
+        device = DeviceCapabilities(name="10 Pro",
+                                    nsa_support=frozenset({"OP_T", "OP_V"}))
+        assert not device.supports_nsa_with("OP_A")
+        assert device.supports_nsa_with("OP_V")
+
+    def test_fragile_band_handling(self):
+        device = DeviceCapabilities(name="12R",
+                                    fragile_scell_bands=frozenset({"n25"}))
+        assert device.handles_scell_band_fragile("n25")
+        assert not device.handles_scell_band_fragile("n41")

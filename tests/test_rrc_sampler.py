@@ -1,0 +1,88 @@
+"""Tests for the per-run radio sampler used by the session simulators."""
+
+import pytest
+
+from repro.cells.cell import CellIdentity, Rat
+from repro.radio.environment import RadioEnvironment
+from repro.radio.geometry import Point
+from repro.radio.propagation import PropagationModel
+from repro.rrc.session import RadioSampler, RunConfig
+from tests.conftest import nr_cell
+
+
+@pytest.fixture
+def environment():
+    model = PropagationModel(seed=3, path_loss_exponent=3.5,
+                             shadowing_sigma_db=6.0, fading_sigma_db=2.0,
+                             noise_floor_dbm=-116.0)
+    cells = [
+        nr_cell(1, 521310, 100.0, 100.0),
+        nr_cell(2, 501390, 100.0, 100.0),
+        # A hopeless cell far below the relevance cutoff.
+        nr_cell(3, 387410, 100.0, 100.0, power=-80.0),
+    ]
+    return RadioEnvironment(cells, model)
+
+
+@pytest.fixture
+def sampler(environment):
+    return RadioSampler(environment, Point(200.0, 200.0),
+                        RunConfig(duration_s=60, run_seed=5))
+
+
+class TestStationarySampling:
+    def test_observe_drops_irrelevant_cells(self, sampler):
+        observations = sampler.observe(0)
+        assert CellIdentity(3, 387410, Rat.NR) not in observations
+        assert len(observations) == 2
+
+    def test_observe_identity_covers_weak_cells(self, sampler):
+        weak = sampler.observe_identity(CellIdentity(3, 387410, Rat.NR), 0)
+        assert not weak.measurable
+        assert weak.rsrp_dbm < -150.0
+
+    def test_observation_varies_over_ticks(self, sampler):
+        identity = CellIdentity(1, 521310, Rat.NR)
+        values = {round(sampler.observe_identity(identity, tick).rsrp_dbm, 3)
+                  for tick in range(20)}
+        assert len(values) > 5  # fading moves the samples around
+
+    def test_deterministic_per_run_seed(self, environment):
+        a = RadioSampler(environment, Point(200.0, 200.0),
+                         RunConfig(run_seed=5))
+        b = RadioSampler(environment, Point(200.0, 200.0),
+                         RunConfig(run_seed=5))
+        identity = CellIdentity(1, 521310, Rat.NR)
+        assert a.observe_identity(identity, 7).rsrp_dbm == \
+            b.observe_identity(identity, 7).rsrp_dbm
+
+    def test_fresh_rsrp_differs_from_reported(self, sampler):
+        identity = CellIdentity(1, 521310, Rat.NR)
+        reported = sampler.observe_identity(identity, 4).rsrp_dbm
+        fresh = sampler.fresh_rsrp(identity, 4)
+        assert fresh != reported
+        assert fresh == sampler.fresh_rsrp(identity, 4)  # but deterministic
+
+    def test_fresh_labels_independent(self, sampler):
+        identity = CellIdentity(1, 521310, Rat.NR)
+        assert sampler.fresh_rsrp(identity, 4, "exec") != \
+            sampler.fresh_rsrp(identity, 4, "ho")
+
+
+class TestMovingSampling:
+    def test_point_provider_moves_the_mean(self, environment):
+        def provider(tick):
+            return Point(150.0 + tick * 50.0, 150.0)
+
+        config = RunConfig(run_seed=5, point_provider=provider)
+        sampler = RadioSampler(environment, Point(150.0, 150.0), config)
+        identity = CellIdentity(1, 521310, Rat.NR)
+        near = sampler.observe_identity(identity, 0).rsrp_dbm
+        far = sampler.observe_identity(identity, 20).rsrp_dbm
+        assert near > far + 10.0
+
+    def test_moving_mode_observes_all_cells(self, environment):
+        config = RunConfig(run_seed=5,
+                           point_provider=lambda tick: Point(200.0, 200.0))
+        sampler = RadioSampler(environment, Point(200.0, 200.0), config)
+        assert len(sampler.observe(0)) == 3  # no stationary cutoff

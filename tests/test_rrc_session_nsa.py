@@ -1,0 +1,334 @@
+"""NSA session tests: N1/N2 sub-types emerge from crafted environments."""
+
+import pytest
+
+from repro.cells.cell import CellIdentity, Rat
+from repro.core.classify import LoopSubtype
+from repro.core.pipeline import analyze_trace
+from repro.radio.environment import RadioEnvironment
+from repro.radio.geometry import Point
+from repro.radio.propagation import PropagationModel
+from repro.rrc.capabilities import DeviceCapabilities
+from repro.rrc.policies import ChannelPolicy, OperatorPolicy
+from repro.rrc.session import NsaSession, RunConfig
+from repro.traces.records import (
+    RrcReconfigurationRecord,
+    RrcReestablishmentRequestRecord,
+    RrcSetupCompleteRecord,
+    ScgFailureRecord,
+)
+from tests.conftest import lte_cell, nr_cell
+
+PHONE = DeviceCapabilities(name="OnePlus 12R")
+LTE_ONLY_PHONE = DeviceCapabilities(name="OnePlus 10 Pro",
+                                    nsa_support=frozenset({"OP_T", "OP_V"}))
+POINT = Point(150.0, 150.0)
+
+
+def nsa_policy(**overrides) -> OperatorPolicy:
+    policy = OperatorPolicy(
+        name="OP_A", mode="NSA",
+        nsa_b1_threshold_dbm=-115.0,
+        nsa_scg_a3_offset_db=5.0,
+        nsa_scg_a2_threshold_dbm=-118.0,
+        scg_ra_failure_threshold_dbm=-108.0,
+        rlf_rsrp_threshold_dbm=-117.0,
+        rlf_time_to_trigger_s=4,
+        handover_failure_threshold_dbm=-118.0,
+        scg_recovery_config_period_s=0.0,
+        idle_reselection_delay_s=8.0,
+        channel_policies={
+            5815: ChannelPolicy(5815, Rat.LTE, allows_scg=False,
+                                redirect_on_5g_report_to=5145,
+                                handover_a3_offset_db=6.0),
+        })
+    for key, value in overrides.items():
+        setattr(policy, key, value)
+    return policy
+
+
+def deterministic_model() -> PropagationModel:
+    return PropagationModel(seed=0, path_loss_exponent=3.5,
+                            shadowing_sigma_db=0.0, fading_sigma_db=0.0,
+                            noise_floor_dbm=-120.0)
+
+
+def run_nsa(cells, policy=None, device=PHONE, duration=180, run_seed=1,
+            model=None):
+    environment = RadioEnvironment(cells, model or deterministic_model())
+    config = RunConfig(duration_s=duration, run_seed=run_seed)
+    session = NsaSession(environment, policy or nsa_policy(), device, POINT,
+                         config)
+    return session.run()
+
+
+def basic_cells():
+    """One mid-band anchor + a strong co-sited NR pair."""
+    return [
+        lte_cell(222, 66661, 100.0, 100.0, margin=5.0),
+        nr_cell(222, 632736, 100.0, 100.0, power=15.0, width=40.0),
+        nr_cell(222, 658080, 100.0, 100.0, power=15.0, width=40.0),
+    ]
+
+
+class TestBasicNsa:
+    def test_establishes_on_lte_then_adds_scg(self):
+        analysis = analyze_trace(run_nsa(basic_cells(), duration=30))
+        assert any(interval.cellset.scg_pscell is not None
+                   for interval in analysis.intervals)
+
+    def test_scg_pair_is_co_sited(self):
+        trace = run_nsa(basic_cells(), duration=30)
+        scg_setups = [record for record in trace.of_kind(RrcReconfigurationRecord)
+                      if record.adds_scg]
+        assert scg_setups
+        setup = scg_setups[0]
+        assert setup.scg_pscell.pci == 222
+        assert setup.scg_scells and setup.scg_scells[0].pci == 222
+
+    def test_stable_location_has_no_loop(self):
+        analysis = analyze_trace(run_nsa(basic_cells(), duration=200))
+        assert not analysis.has_loop
+
+    def test_lte_only_device_never_gets_5g(self):
+        analysis = analyze_trace(run_nsa(basic_cells(), device=LTE_ONLY_PHONE,
+                                         duration=60))
+        assert all(not interval.cellset.five_g_on
+                   for interval in analysis.intervals)
+        assert not analysis.has_loop
+
+    def test_b1_config_emitted(self):
+        trace = run_nsa(basic_cells(), duration=10)
+        configs = [record for record in trace.of_kind(RrcReconfigurationRecord)
+                   if record.meas_events]
+        assert configs
+        assert configs[0].meas_events[0][0] == "B1"
+
+
+class TestN2E1:
+    def cells(self):
+        # Co-sited twins 5815/5145 plus a strong NR cell.  The loaded
+        # mid-band anchor has much worse RSRQ, so A3 (6 dB offset on the
+        # low band) keeps pulling the PCell onto the 5G-disabled 5815.
+        return [
+            lte_cell(380, 5815, 400.0, 400.0, power=14.0, width=10.0),
+            lte_cell(380, 5145, 400.0, 400.0, power=3.0, width=10.0, margin=2.0),
+            nr_cell(380, 174770, 400.0, 400.0, power=10.0, width=10.0),
+        ]
+
+    def test_redirect_ping_pong_creates_loop(self):
+        analysis = analyze_trace(run_nsa(self.cells(), duration=240))
+        assert analysis.has_loop
+        assert analysis.subtype is LoopSubtype.N2E1
+
+    def test_handovers_alternate_between_twins(self):
+        trace = run_nsa(self.cells(), duration=120)
+        targets = [record.handover_target.channel
+                   for record in trace.of_kind(RrcReconfigurationRecord)
+                   if record.is_handover]
+        assert 5815 in targets and 5145 in targets
+
+    def test_scg_released_on_entry_to_5815(self):
+        trace = run_nsa(self.cells(), duration=120)
+        to_5815 = [record for record in trace.of_kind(RrcReconfigurationRecord)
+                   if record.is_handover and record.handover_target.channel == 5815]
+        assert to_5815
+        assert any(record.release_scg for record in to_5815)
+
+
+class TestN1E2:
+    def cells(self):
+        # The mid-band anchor is strongest in RSRP (so establishment and
+        # reestablishment land there) but its loaded channel reports far
+        # worse RSRQ, so A3 keeps pulling the PCell onto 5815.  5815 has
+        # no co-sited 5145 twin; the only 5145 cell is far away and below
+        # the handover-failure bar, so every redirect fails.
+        return [
+            lte_cell(380, 5815, 400.0, 400.0, power=14.0, width=10.0),
+            lte_cell(55, 5145, 2500.0, 2500.0, power=0.0, width=10.0),
+            lte_cell(222, 66661, 450.0, 150.0, power=22.0, margin=8.0),
+            nr_cell(222, 632736, 450.0, 150.0, power=22.0, width=40.0),
+        ]
+
+    def test_handover_failure_reestablishment(self):
+        trace = run_nsa(self.cells(), duration=240)
+        requests = trace.of_kind(RrcReestablishmentRequestRecord)
+        assert any(request.cause == "handoverFailure" for request in requests)
+
+    def test_classified_as_n1e2(self):
+        analysis = analyze_trace(run_nsa(self.cells(), duration=300))
+        assert analysis.has_loop
+        assert analysis.subtype is LoopSubtype.N1E2
+
+
+class TestN1E1:
+    def cells(self):
+        # The only 4G anchor hovers right at the RLF threshold; fast
+        # fading pushes it under for the time-to-trigger, the connection
+        # reestablishes on the same cell, and the SCG is re-added — a
+        # pure radio-link-failure loop.
+        return [
+            lte_cell(222, 66661, 450.0, 150.0, power=-0.4, margin=5.0),
+            nr_cell(222, 632736, 450.0, 150.0, power=16.0, width=40.0),
+        ]
+
+    def policy(self):
+        return nsa_policy(rlf_rsrp_threshold_dbm=-110.0)
+
+    def fading_model(self):
+        return PropagationModel(seed=4, path_loss_exponent=3.5,
+                                shadowing_sigma_db=0.0, fading_sigma_db=3.0,
+                                noise_floor_dbm=-120.0)
+
+    def find_n1e1(self):
+        for run_seed in range(1, 15):
+            analysis = analyze_trace(run_nsa(
+                self.cells(), policy=self.policy(), duration=300,
+                run_seed=run_seed, model=self.fading_model()))
+            if analysis.has_loop and analysis.subtype is LoopSubtype.N1E1:
+                return analysis
+        return None
+
+    def test_rlf_reestablishment(self):
+        found = False
+        for run_seed in range(1, 15):
+            trace = run_nsa(self.cells(), policy=self.policy(), duration=300,
+                            run_seed=run_seed, model=self.fading_model())
+            requests = trace.of_kind(RrcReestablishmentRequestRecord)
+            if any(request.cause == "otherFailure" for request in requests):
+                found = True
+                break
+        assert found
+
+    def test_classified_as_n1e1(self):
+        assert self.find_n1e1() is not None
+
+
+class TestN2E2:
+    def cells(self):
+        # Two NR neighbours with close, marginal RSRP: fading triggers
+        # PSCell changes whose random access then fails.
+        return [
+            lte_cell(222, 66661, 100.0, 100.0, margin=5.0),
+            nr_cell(222, 632736, 400.0, 400.0, power=9.0, width=40.0),
+            nr_cell(555, 632736, 420.0, -150.0, power=9.0, width=40.0),
+        ]
+
+    def fading_model(self):
+        return PropagationModel(seed=3, path_loss_exponent=3.5,
+                                shadowing_sigma_db=0.0, fading_sigma_db=3.0,
+                                noise_floor_dbm=-120.0)
+
+    def find_n2e2(self, policy=None, seeds=range(1, 12)):
+        for run_seed in seeds:
+            analysis = analyze_trace(run_nsa(
+                self.cells(), policy=policy, duration=300, run_seed=run_seed,
+                model=self.fading_model()))
+            if analysis.has_loop and analysis.subtype is LoopSubtype.N2E2:
+                return analysis
+        return None
+
+    def test_scg_failures_reported(self):
+        found = False
+        for run_seed in range(1, 12):
+            trace = run_nsa(self.cells(), duration=300, run_seed=run_seed,
+                            model=self.fading_model())
+            if trace.of_kind(ScgFailureRecord):
+                found = True
+                break
+        assert found
+
+    def test_classified_as_n2e2(self):
+        analysis = self.find_n2e2()
+        assert analysis is not None
+
+    def test_recovery_period_delays_measurement(self):
+        slow = self.find_n2e2(policy=nsa_policy(scg_recovery_config_period_s=30.0))
+        assert slow is not None
+        assert slow.scg_meas_delays
+        assert max(slow.scg_meas_delays) > 20.0
+
+
+class TestLegacyA2B1:
+    def cells(self):
+        # A single NR cell at ~-104 dBm: healthy under current policy,
+        # but inside the legacy A2/B1 inconsistency window of F12.
+        return [
+            lte_cell(222, 66661, 100.0, 100.0, margin=5.0),
+            nr_cell(222, 632736, 100.0, 100.0, power=-11.0, width=40.0),
+        ]
+
+    def test_disabled_by_default(self):
+        analysis = analyze_trace(run_nsa(self.cells(), duration=200))
+        assert not analysis.has_loop
+
+    def test_enabled_policy_creates_loop(self):
+        policy = nsa_policy(legacy_a2b1=True, legacy_a2_threshold_dbm=-100.0,
+                            nsa_b1_threshold_dbm=-110.0)
+        analysis = analyze_trace(run_nsa(self.cells(), policy=policy,
+                                         duration=200))
+        assert analysis.has_loop
+        assert analysis.subtype is LoopSubtype.N2_A2B1
+
+
+class TestNsaDeterminism:
+    def test_same_seed_same_trace(self):
+        first = run_nsa(basic_cells(), duration=90, run_seed=5)
+        second = run_nsa(basic_cells(), duration=90, run_seed=5)
+        assert first.to_jsonl() == second.to_jsonl()
+
+
+class TestOpVTransientScgDrop:
+    """OP_V's 5230 policy: entry drops the SCG, B1 re-adds it in a tick."""
+
+    def policy(self):
+        return nsa_policy(channel_policies={
+            5230: ChannelPolicy(5230, Rat.LTE, allows_scg=True,
+                                drops_scg_on_entry=True,
+                                redirect_on_5g_report_to=66586,
+                                handover_a3_offset_db=6.0),
+        })
+
+    def cells(self):
+        return [
+            lte_cell(380, 5230, 400.0, 400.0, power=14.0, width=10.0),
+            lte_cell(380, 66586, 400.0, 400.0, power=3.0, margin=2.0),
+            nr_cell(380, 648672, 400.0, 400.0, power=12.0, width=60.0),
+        ]
+
+    def test_loop_with_transient_off(self):
+        analysis = analyze_trace(run_nsa(self.cells(), policy=self.policy(),
+                                         duration=240))
+        assert analysis.has_loop
+        assert analysis.subtype is LoopSubtype.N2E1
+        offs = [cycle.off_s for cycle in analysis.cycles]
+        assert offs
+        # The SCG is recovered on 5230 itself: sub-2-second OFF periods.
+        assert min(offs) < 2.0
+
+
+class TestOpVBroadcastPhase:
+    def test_broadcast_phase_deterministic_per_seed(self):
+        policy = nsa_policy(scg_recovery_config_period_s=30.0)
+        cells = basic_cells()
+        environment = RadioEnvironment(cells, deterministic_model())
+        first = NsaSession(environment, policy, PHONE, POINT,
+                           RunConfig(duration_s=10, run_seed=9))
+        second = NsaSession(environment, policy, PHONE, POINT,
+                            RunConfig(duration_s=10, run_seed=9))
+        assert first._broadcast_phase == second._broadcast_phase
+
+    def test_recovery_time_lands_on_broadcast_grid(self):
+        policy = nsa_policy(scg_recovery_config_period_s=30.0)
+        environment = RadioEnvironment(basic_cells(), deterministic_model())
+        session = NsaSession(environment, policy, PHONE, POINT,
+                             RunConfig(duration_s=10, run_seed=9))
+        recovery = session._next_scg_config_time(47.0)
+        assert recovery > 47.0
+        assert (recovery - session._broadcast_phase) % 30.0 == 0.0
+
+    def test_immediate_recovery_without_period(self):
+        environment = RadioEnvironment(basic_cells(), deterministic_model())
+        session = NsaSession(environment, nsa_policy(), PHONE, POINT,
+                             RunConfig(duration_s=10, run_seed=9))
+        assert session._next_scg_config_time(47.0) == 49.5

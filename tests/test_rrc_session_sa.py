@@ -1,0 +1,217 @@
+"""SA session tests: each S1 sub-type emerges from its crafted environment."""
+
+import pytest
+
+from repro.cells.cell import CellIdentity, Rat
+from repro.core.classify import LoopSubtype
+from repro.core.pipeline import analyze_trace
+from repro.radio.environment import RadioEnvironment
+from repro.radio.geometry import Point
+from repro.radio.propagation import PropagationModel
+from repro.rrc.capabilities import DeviceCapabilities
+from repro.rrc.policies import ChannelPolicy, OperatorPolicy
+from repro.rrc.session import RunConfig, SaSession, simulate_run
+from repro.traces.records import (
+    MmStateRecord,
+    RrcReconfigurationRecord,
+    RrcSetupCompleteRecord,
+)
+from tests.conftest import nr_cell
+
+ONEPLUS_12R = DeviceCapabilities(name="OnePlus 12R", max_sa_scells=3,
+                                 mimo_layers=2,
+                                 fragile_scell_bands=frozenset({"n25"}))
+ROBUST_DEVICE = DeviceCapabilities(name="OnePlus 13R", max_sa_scells=1,
+                                   mimo_layers=4)
+NO_CA_DEVICE = DeviceCapabilities(name="Pixel 5", sa_carrier_aggregation=False,
+                                  max_sa_scells=0)
+
+
+def sa_policy() -> OperatorPolicy:
+    return OperatorPolicy(
+        name="OP_T", mode="SA",
+        sa_pcell_channels=(521310, 501390),
+        sa_scell_channels=(501390, 521310, 387410, 398410),
+        selection_threshold_dbm=-108.0,
+        channel_policies={
+            387410: ChannelPolicy(387410, Rat.NR, downlink_only_scell_config=True,
+                                  scell_mod_fragile=True),
+            398410: ChannelPolicy(398410, Rat.NR, downlink_only_scell_config=True),
+        })
+
+
+def deterministic_model(noise_floor=-116.0) -> PropagationModel:
+    """No shadowing, no fading: RSRP is a pure function of geometry."""
+    return PropagationModel(seed=0, path_loss_exponent=3.5,
+                            shadowing_sigma_db=0.0, fading_sigma_db=0.0,
+                            noise_floor_dbm=noise_floor)
+
+
+def run_sa(cells, device=ONEPLUS_12R, duration=120, point=Point(150.0, 150.0),
+           model=None, policy=None):
+    environment = RadioEnvironment(cells, model or deterministic_model())
+    config = RunConfig(duration_s=duration, run_seed=1)
+    session = SaSession(environment, policy or sa_policy(), device, point, config)
+    return session.run()
+
+
+def base_cells():
+    """Strong co-sited n41 pair at (100, 100)."""
+    return [
+        nr_cell(393, 521310, 100.0, 100.0),
+        nr_cell(393, 501390, 100.0, 100.0, width=100.0),
+    ]
+
+
+class TestEstablishment:
+    def test_connects_on_strongest_n41(self):
+        trace = run_sa(base_cells(), duration=10)
+        setup = trace.of_kind(RrcSetupCompleteRecord)
+        assert setup
+        assert setup[0].cell.channel in (521310, 501390)
+
+    def test_blind_scell_addition_after_three_seconds(self):
+        cells = base_cells() + [nr_cell(273, 387410, 100.0, 100.0,
+                                        power=16.0, width=10.0)]
+        trace = run_sa(cells, duration=10)
+        additions = [record for record in trace.of_kind(RrcReconfigurationRecord)
+                     if record.scell_add_mod and not record.scell_release_indices]
+        assert additions
+        assert additions[0].time_s == pytest.approx(3.3, abs=0.3)
+        added = {entry.identity.channel for entry in additions[0].scell_add_mod}
+        assert 387410 in added
+        assert added & {501390, 521310}  # the co-sited n41 twin
+
+    def test_no_ca_device_gets_no_scells(self):
+        cells = base_cells() + [nr_cell(273, 387410, 100.0, 100.0,
+                                        power=16.0, width=10.0)]
+        trace = run_sa(cells, device=NO_CA_DEVICE, duration=30)
+        assert not [record for record in trace.of_kind(RrcReconfigurationRecord)
+                    if record.scell_add_mod]
+
+    def test_stays_idle_without_coverage(self):
+        # A single cell far outside the selection threshold.
+        cells = [nr_cell(393, 521310, 100.0, 100.0, power=-40.0)]
+        trace = run_sa(cells, duration=20, point=Point(4000.0, 4000.0))
+        assert not trace.of_kind(RrcSetupCompleteRecord)
+        assert all(sample == 0.0
+                   for _t, sample in trace.throughput_series())
+
+
+class TestS1E1:
+    def cells(self):
+        # The nearest 387410 cell is essentially unmeasurable (-60 dBm Tx
+        # deficit) but gets blindly added anyway.
+        return base_cells() + [nr_cell(309, 387410, 100.0, 100.0,
+                                       power=-40.0, width=10.0)]
+
+    def test_unmeasurable_scell_releases_all(self):
+        trace = run_sa(self.cells(), duration=60)
+        exceptions = [record for record in trace.of_kind(MmStateRecord)
+                      if record.state == "DEREGISTERED"]
+        assert exceptions
+        # 8 unmeasurable ticks after the blind addition at ~3 s.
+        assert exceptions[0].time_s == pytest.approx(11.5, abs=2.0)
+
+    def test_classified_as_s1e1_loop(self):
+        analysis = analyze_trace(run_sa(self.cells(), duration=200))
+        assert analysis.has_loop
+        assert analysis.subtype is LoopSubtype.S1E1
+
+    def test_robust_device_sees_no_loop(self):
+        analysis = analyze_trace(run_sa(self.cells(), device=ROBUST_DEVICE,
+                                        duration=200))
+        assert not analysis.has_loop
+
+
+class TestS1E2:
+    def cells(self):
+        # Measurable but persistently poor RSRQ: mean RSRP ~ -106 dBm.
+        weak = nr_cell(390, 387410, 1050.0, 1050.0, power=26.0, width=10.0)
+        return base_cells() + [weak]
+
+    def test_poor_scell_releases_all(self):
+        trace = run_sa(self.cells(), duration=60)
+        assert any(record.state == "DEREGISTERED"
+                   for record in trace.of_kind(MmStateRecord))
+
+    def test_classified_as_s1e2_loop(self):
+        analysis = analyze_trace(run_sa(self.cells(), duration=200))
+        assert analysis.has_loop
+        assert analysis.subtype is LoopSubtype.S1E2
+
+    def test_loop_is_persistent(self):
+        analysis = analyze_trace(run_sa(self.cells(), duration=240))
+        assert analysis.detection.kind.value == "II-P"
+
+
+class TestS1E3:
+    def cells(self, rival_advantage_db=7.0):
+        serving = nr_cell(273, 387410, 100.0, 100.0, power=16.0, width=10.0)
+        # Position the rival so its mean RSRP beats the serving SCell by
+        # the requested margin at the test point (tweak via power).
+        rival = nr_cell(371, 387410, 200.0, 200.0, width=10.0,
+                        power=16.0 + rival_advantage_db)
+        return base_cells() + [serving, rival]
+
+    def test_modification_commanded_and_fails(self):
+        trace = run_sa(self.cells(), duration=60)
+        modifications = [record for record in trace.of_kind(RrcReconfigurationRecord)
+                         if record.scell_add_mod and record.scell_release_indices]
+        assert modifications
+        assert modifications[0].scell_add_mod[0].identity.pci == 371
+        assert any(record.state == "DEREGISTERED"
+                   for record in trace.of_kind(MmStateRecord))
+
+    def test_classified_as_s1e3_loop(self):
+        analysis = analyze_trace(run_sa(self.cells(), duration=240))
+        assert analysis.has_loop
+        assert analysis.subtype is LoopSubtype.S1E3
+
+    def test_large_gap_modification_succeeds(self):
+        # A rival 15 dB stronger: past the execution failure bar, the
+        # modification goes through and no loop forms.
+        analysis = analyze_trace(run_sa(self.cells(rival_advantage_db=15.0),
+                                        duration=240))
+        assert not analysis.has_loop
+
+    def test_robust_device_modifies_without_loop(self):
+        analysis = analyze_trace(run_sa(self.cells(), device=ROBUST_DEVICE,
+                                        duration=240))
+        assert not analysis.has_loop
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        cells = base_cells() + [nr_cell(273, 387410, 100.0, 100.0,
+                                        power=16.0, width=10.0)]
+        model = PropagationModel(seed=9, shadowing_sigma_db=6.0,
+                                 fading_sigma_db=2.0, noise_floor_dbm=-116.0)
+        first = run_sa(cells, duration=90, model=model)
+        model2 = PropagationModel(seed=9, shadowing_sigma_db=6.0,
+                                  fading_sigma_db=2.0, noise_floor_dbm=-116.0)
+        second = run_sa(cells, duration=90, model=model2)
+        assert first.to_jsonl() == second.to_jsonl()
+
+    def test_different_seeds_differ(self):
+        cells = base_cells()
+        model = PropagationModel(seed=9, shadowing_sigma_db=6.0,
+                                 fading_sigma_db=2.0)
+        environment = RadioEnvironment(cells, model)
+        policy = sa_policy()
+        point = Point(150.0, 150.0)
+        first = SaSession(environment, policy, ONEPLUS_12R, point,
+                          RunConfig(duration_s=60, run_seed=1)).run()
+        second = SaSession(environment, policy, ONEPLUS_12R, point,
+                           RunConfig(duration_s=60, run_seed=2)).run()
+        assert first.to_jsonl() != second.to_jsonl()
+
+
+class TestSimulateRunDispatch:
+    def test_sa_policy_uses_sa_session(self):
+        cells = base_cells()
+        environment = RadioEnvironment(cells, deterministic_model())
+        trace = simulate_run(environment, sa_policy(), ONEPLUS_12R,
+                             Point(150.0, 150.0), RunConfig(duration_s=10))
+        setup = trace.of_kind(RrcSetupCompleteRecord)
+        assert setup and setup[0].cell.rat is Rat.NR

@@ -1,0 +1,92 @@
+"""Device-specific SA behaviour and walking-mobility sessions."""
+
+import pytest
+
+from repro.campaign import build_deployment, device, operator
+from repro.campaign.locations import sparse_locations, walking_path
+from repro.campaign.runner import run_once
+from repro.cells.bands import band_for_nr_arfcn
+from repro.core.cellset import five_g_timeline
+from repro.traces.records import RrcReconfigurationRecord, RrcSetupCompleteRecord
+
+
+@pytest.fixture(scope="module")
+def op_t_deployment():
+    return build_deployment(operator("OP_T"), "A1")
+
+
+@pytest.fixture(scope="module")
+def a1_points():
+    return sparse_locations(operator("OP_T").areas[0].area, 6, seed=9)
+
+
+def _run(op_t_deployment, phone_name, point, duration=120):
+    return run_once(op_t_deployment, operator("OP_T"), device(phone_name),
+                    point, "L", 0, duration_s=duration, keep_trace=True)
+
+
+class TestDeviceBehaviour:
+    def test_s23_camps_on_n71(self, op_t_deployment, a1_points):
+        result = _run(op_t_deployment, "Samsung S23", a1_points[0])
+        setups = result.trace.of_kind(RrcSetupCompleteRecord)
+        assert setups
+        assert band_for_nr_arfcn(setups[0].cell.channel).name == "n71"
+
+    def test_12r_camps_on_n41(self, op_t_deployment, a1_points):
+        result = _run(op_t_deployment, "OnePlus 12R", a1_points[0])
+        setups = result.trace.of_kind(RrcSetupCompleteRecord)
+        assert band_for_nr_arfcn(setups[0].cell.channel).name == "n41"
+
+    def test_13r_gets_single_scell_without_n25(self, op_t_deployment, a1_points):
+        result = _run(op_t_deployment, "OnePlus 13R", a1_points[1])
+        additions = [record for record in
+                     result.trace.of_kind(RrcReconfigurationRecord)
+                     if record.scell_add_mod and not record.scell_release_indices]
+        assert additions
+        added = [entry.identity for entry in additions[0].scell_add_mod]
+        assert len(added) == 1
+        assert added[0].band.name == "n41"
+
+    def test_12r_gets_three_scells_with_n25(self, op_t_deployment, a1_points):
+        result = _run(op_t_deployment, "OnePlus 12R", a1_points[1])
+        additions = [record for record in
+                     result.trace.of_kind(RrcReconfigurationRecord)
+                     if record.scell_add_mod and not record.scell_release_indices]
+        assert additions
+        bands = {entry.identity.band.name
+                 for entry in additions[0].scell_add_mod}
+        assert "n25" in bands
+        assert len(additions[0].scell_add_mod) == 3
+
+    def test_pixel5_never_aggregates(self, op_t_deployment, a1_points):
+        result = _run(op_t_deployment, "Pixel 5", a1_points[2])
+        assert not any(record.scell_add_mod for record in
+                       result.trace.of_kind(RrcReconfigurationRecord))
+
+
+class TestWalking:
+    def test_walking_run_completes_and_serves(self, op_t_deployment, a1_points):
+        start, end = a1_points[0], a1_points[1]
+        provider = walking_path(start, end, duration_s=120)
+        result = run_once(op_t_deployment, operator("OP_T"),
+                          device("OnePlus 12R"), start, "walk", 0,
+                          duration_s=120, mode="walking",
+                          point_provider=provider, keep_trace=True)
+        assert result.metadata.mode == "walking"
+        assert result.analysis.intervals
+        # Coverage holds along the route: 5G serves most of the walk.
+        on_time = sum(end_s - start_s for on, start_s, end_s
+                      in five_g_timeline(result.analysis.intervals) if on)
+        assert on_time > 30.0
+
+    def test_walking_deterministic(self, op_t_deployment, a1_points):
+        provider = walking_path(a1_points[0], a1_points[1], duration_s=60)
+        first = run_once(op_t_deployment, operator("OP_T"),
+                         device("OnePlus 12R"), a1_points[0], "walk", 0,
+                         duration_s=60, point_provider=provider,
+                         keep_trace=True)
+        second = run_once(op_t_deployment, operator("OP_T"),
+                          device("OnePlus 12R"), a1_points[0], "walk", 0,
+                          duration_s=60, point_provider=provider,
+                          keep_trace=True)
+        assert first.trace.to_jsonl() == second.trace.to_jsonl()

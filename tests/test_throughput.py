@@ -1,0 +1,92 @@
+"""Tests for the downlink throughput model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.radio.environment import CellObservation
+from repro.throughput.model import DataRateModel, spectral_efficiency_bps_hz
+from tests.conftest import lte_cell, nr_cell
+
+
+def observation(cell, rsrp):
+    return CellObservation(cell=cell, rsrp_dbm=rsrp, rsrq_db=-12.0,
+                           measurable=True)
+
+
+class TestSpectralEfficiency:
+    def test_strong_signal_high_efficiency(self):
+        assert spectral_efficiency_bps_hz(-75.0) > 3.0
+
+    def test_weak_signal_low_efficiency(self):
+        assert spectral_efficiency_bps_hz(-120.0) < 0.3
+
+    @given(st.floats(min_value=-140.0, max_value=-40.0))
+    def test_bounded(self, rsrp):
+        efficiency = spectral_efficiency_bps_hz(rsrp)
+        assert 0.05 <= efficiency <= 3.8
+
+    @given(st.floats(min_value=-139.0, max_value=-41.0))
+    def test_monotone(self, rsrp):
+        assert spectral_efficiency_bps_hz(rsrp + 1.0) >= \
+            spectral_efficiency_bps_hz(rsrp)
+
+
+class TestDataRateModel:
+    def test_no_primary_means_zero(self):
+        model = DataRateModel()
+        assert model.rate_mbps(None, []) == 0.0
+        assert model.lte_only_rate_mbps(None) == 0.0
+
+    def test_wider_carrier_is_faster(self):
+        model = DataRateModel(utilization=1.0)
+        wide = observation(nr_cell(1, width=90.0), -82.0)
+        narrow = observation(nr_cell(2, channel=387410, width=10.0), -82.0)
+        assert model.carrier_rate_mbps(wide) > model.carrier_rate_mbps(narrow)
+
+    def test_secondaries_add_discounted_rate(self):
+        model = DataRateModel(utilization=1.0, secondary_discount=0.5)
+        primary = observation(nr_cell(1, width=90.0), -82.0)
+        secondary = observation(nr_cell(2, channel=501390, width=90.0), -82.0)
+        alone = model.rate_mbps(primary, [])
+        with_secondary = model.rate_mbps(primary, [secondary])
+        assert with_secondary == pytest.approx(alone * 1.5, rel=0.01)
+
+    def test_mimo_scales_rate(self):
+        model = DataRateModel(utilization=1.0)
+        primary = observation(nr_cell(1, width=90.0), -82.0)
+        assert model.rate_mbps(primary, [], mimo_layers=4) == \
+            pytest.approx(2.0 * model.rate_mbps(primary, [], mimo_layers=2))
+
+    def test_utilization_scales_rate(self):
+        half = DataRateModel(utilization=0.5)
+        full = DataRateModel(utilization=1.0)
+        primary = observation(nr_cell(1, width=90.0), -82.0)
+        assert half.rate_mbps(primary, []) == \
+            pytest.approx(0.5 * full.rate_mbps(primary, []))
+
+    def test_split_primary_prefers_widest_nr(self):
+        anchor = observation(lte_cell(1, width=20.0), -85.0)
+        scg = observation(nr_cell(2, channel=648672, width=60.0), -95.0)
+        primary, secondaries = DataRateModel.split_primary([anchor, scg])
+        assert primary is scg
+        assert secondaries == [anchor]
+
+    def test_split_primary_falls_back_to_lte(self):
+        anchor = observation(lte_cell(1, width=20.0), -85.0)
+        primary, secondaries = DataRateModel.split_primary([anchor])
+        assert primary is anchor
+        assert secondaries == []
+
+    def test_split_primary_empty(self):
+        assert DataRateModel.split_primary([]) == (None, [])
+
+    def test_operator_magnitudes_are_ordered(self):
+        """OP_T SA at -82 dBm on 90 MHz beats an OP_A n5 10 MHz config."""
+        model = DataRateModel(utilization=0.35)
+        op_t = model.rate_mbps(observation(nr_cell(1, width=90.0), -82.0),
+                               [observation(nr_cell(2, channel=501390,
+                                                    width=100.0), -82.0)])
+        op_a = DataRateModel(utilization=0.42).rate_mbps(
+            observation(lte_cell(3, width=20.0), -90.0),
+            [observation(nr_cell(4, channel=174770, width=10.0), -100.0)])
+        assert op_t > 3 * op_a

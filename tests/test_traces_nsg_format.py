@@ -1,0 +1,95 @@
+"""Tests for the NSG-style textual log format (Appendix B fidelity)."""
+
+import pytest
+
+from repro.campaign import build_deployment, device, operator
+from repro.campaign.locations import sparse_locations
+from repro.campaign.runner import run_once
+from repro.cells.cell import Rat
+from repro.core.pipeline import analyze_trace
+from repro.traces.nsg_format import (
+    NsgFormatError,
+    parse_nsg_text,
+    render_record,
+    render_trace,
+)
+from repro.traces.records import ThroughputSampleRecord
+
+
+class TestRendering:
+    def test_trace_renders_appendix_style(self, s1e3_trace):
+        text = render_trace(s1e3_trace)
+        assert "RRC OTA Packet" in text
+        assert "sCellToAddModList" in text
+        assert "sCellToReleaseList" in text
+        assert "MM5G State = DEREGISTERED" in text
+        assert "Physical Cell ID = 393" in text
+        assert "absoluteFrequencySSB 387410" in text
+
+    def test_timestamps_are_wall_clock_style(self, s1e3_trace):
+        text = render_trace(s1e3_trace)
+        assert "00:00:03.000" in text  # the first SCell addition at t=3 s
+
+    def test_throughput_records_are_omitted(self):
+        assert render_record(ThroughputSampleRecord(time_s=1.0, mbps=9.0)) == []
+
+    def test_header_carries_metadata(self, s1e3_trace):
+        first_line = render_trace(s1e3_trace).splitlines()[0]
+        assert first_line.startswith("# operator=OP_T")
+        assert "location=P16" in first_line
+
+
+class TestRoundTrip:
+    def test_crafted_trace_round_trip(self, s1e3_trace):
+        parsed = parse_nsg_text(render_trace(s1e3_trace))
+        assert parsed.metadata.operator == "OP_T"
+        assert parsed.metadata.location == "P16"
+        assert len(parsed) == len(s1e3_trace)
+        for original, round_tripped in zip(s1e3_trace.records, parsed.records):
+            assert type(original) is type(round_tripped)
+            assert round_tripped.time_s == pytest.approx(original.time_s,
+                                                         abs=0.002)
+
+    def test_analysis_agrees_after_round_trip(self, s1e3_trace):
+        parsed = parse_nsg_text(render_trace(s1e3_trace))
+        original = analyze_trace(s1e3_trace)
+        reparsed = analyze_trace(parsed)
+        assert reparsed.subtype == original.subtype
+        assert reparsed.detection.kind == original.detection.kind
+        assert reparsed.detection.period == original.detection.period
+
+    def test_simulated_nsa_trace_round_trip(self):
+        profile = operator("OP_V")
+        deployment = build_deployment(profile, "A10")
+        point = sparse_locations(profile.area_spec("A10").area, 5, seed=2)[1]
+        result = run_once(deployment, profile, device("OnePlus 12R"), point,
+                          "PV", 0, duration_s=200, keep_trace=True)
+        parsed = parse_nsg_text(render_trace(result.trace))
+        original = analyze_trace(result.trace)
+        reparsed = analyze_trace(parsed)
+        assert reparsed.detection.kind == original.detection.kind
+        assert reparsed.subtype == original.subtype
+        assert reparsed.serving_nr_channels == original.serving_nr_channels
+        assert reparsed.serving_lte_channels == original.serving_lte_channels
+
+
+class TestParserErrors:
+    def test_unparseable_line(self):
+        with pytest.raises(NsgFormatError):
+            parse_nsg_text("this is not a log\n")
+
+    def test_continuation_without_block(self):
+        with pytest.raises(NsgFormatError):
+            parse_nsg_text("  sCellToReleaseList {3}\n")
+
+    def test_unknown_block_head(self):
+        with pytest.raises(NsgFormatError):
+            parse_nsg_text("00:00:01.000 RRC OTA Packet -- XX / Martian\n")
+
+    def test_missing_cell_reference(self):
+        text = "00:00:01.000 NR5G RRC OTA Packet -- UL_CCCH / RRC Setup Req\n"
+        with pytest.raises(NsgFormatError):
+            parse_nsg_text(text)
+
+    def test_empty_text_gives_empty_trace(self):
+        assert len(parse_nsg_text("")) == 0

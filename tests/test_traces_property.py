@@ -1,0 +1,98 @@
+"""Property-based round-trip tests over whole random traces."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cells.cell import CellIdentity, Rat
+from repro.traces.log import SignalingTrace, TraceMetadata
+from repro.traces.parser import parse_jsonl
+from repro.traces.records import (
+    CellMeasurement,
+    MeasurementReportRecord,
+    MmStateRecord,
+    RrcReconfigurationRecord,
+    RrcReestablishmentRequestRecord,
+    RrcReleaseRecord,
+    RrcSetupCompleteRecord,
+    ScellAddMod,
+    ScgFailureRecord,
+    ThroughputSampleRecord,
+)
+
+identities = st.builds(
+    CellIdentity,
+    pci=st.integers(min_value=0, max_value=1007),
+    channel=st.sampled_from([387410, 398410, 521310, 5815, 5145, 632736]),
+    rat=st.sampled_from([Rat.NR, Rat.LTE]),
+)
+
+measurements = st.builds(
+    CellMeasurement,
+    identity=identities,
+    rsrp_dbm=st.floats(min_value=-140.0, max_value=-40.0).map(lambda v: round(v, 2)),
+    rsrq_db=st.floats(min_value=-30.0, max_value=-5.0).map(lambda v: round(v, 2)),
+    is_serving=st.booleans(),
+)
+
+
+def _record_strategies(time):
+    return st.one_of(
+        st.builds(RrcSetupCompleteRecord, time_s=time, cell=identities),
+        st.builds(RrcReleaseRecord, time_s=time),
+        st.builds(MmStateRecord, time_s=time,
+                  state=st.sampled_from(["REGISTERED", "DEREGISTERED"]),
+                  substate=st.sampled_from(["", "NO_CELL_AVAILABLE"])),
+        st.builds(ScgFailureRecord, time_s=time,
+                  failure_type=st.sampled_from(["randomAccessProblem", "rlf"])),
+        st.builds(RrcReestablishmentRequestRecord, time_s=time,
+                  cause=st.sampled_from(["otherFailure", "handoverFailure"]),
+                  cell=st.one_of(st.none(), identities)),
+        st.builds(MeasurementReportRecord, time_s=time,
+                  event=st.sampled_from(["periodic", "A3", "B1"]),
+                  measurements=st.tuples(measurements)),
+        st.builds(RrcReconfigurationRecord, time_s=time, pcell=identities,
+                  scell_add_mod=st.lists(
+                      st.builds(ScellAddMod,
+                                scell_index=st.integers(1, 8),
+                                identity=identities),
+                      max_size=3).map(tuple),
+                  scell_release_indices=st.lists(st.integers(1, 8),
+                                                 max_size=2).map(tuple),
+                  release_scg=st.booleans()),
+        st.builds(ThroughputSampleRecord, time_s=time,
+                  mbps=st.floats(min_value=0.0, max_value=500.0)
+                  .map(lambda v: round(v, 3))),
+    )
+
+
+@st.composite
+def traces(draw):
+    count = draw(st.integers(min_value=0, max_value=25))
+    times = sorted(round(draw(st.floats(min_value=0.0, max_value=300.0)), 4)
+                   for _ in range(count))
+    trace = SignalingTrace(metadata=TraceMetadata(
+        operator=draw(st.sampled_from(["OP_T", "OP_A", "OP_V"])),
+        area="A1", location="P1", device="OnePlus 12R",
+        run_seed=draw(st.integers(0, 2 ** 31))))
+    for time in times:
+        trace.append(draw(_record_strategies(st.just(time))))
+    return trace
+
+
+class TestTraceRoundTrip:
+    @given(traces())
+    @settings(max_examples=60, deadline=None)
+    def test_jsonl_round_trip_identity(self, trace):
+        parsed = parse_jsonl(trace.to_jsonl())
+        assert parsed.metadata == trace.metadata
+        assert parsed.records == trace.records
+
+    @given(traces())
+    @settings(max_examples=30, deadline=None)
+    def test_analysis_never_crashes_on_arbitrary_traces(self, trace):
+        """The pipeline must be total over syntactically valid traces."""
+        from repro.core.pipeline import analyze_trace
+
+        analysis = analyze_trace(trace)
+        assert analysis.n_cs_samples == len(analysis.intervals)
+        for cycle in analysis.cycles:
+            assert cycle.on_s >= 0.0 and cycle.off_s >= 0.0

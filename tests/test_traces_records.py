@@ -1,0 +1,150 @@
+"""Serialization tests for every signaling record type."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cells.cell import CellIdentity, Rat
+from repro.traces.parser import parse_record
+from repro.traces.records import (
+    CellMeasurement,
+    MeasurementReportRecord,
+    MmStateRecord,
+    RrcReconfigurationCompleteRecord,
+    RrcReconfigurationRecord,
+    RrcReestablishmentCompleteRecord,
+    RrcReestablishmentRequestRecord,
+    RrcReleaseRecord,
+    RrcSetupCompleteRecord,
+    RrcSetupRecord,
+    RrcSetupRequestRecord,
+    ScellAddMod,
+    ScgFailureRecord,
+    SystemInfoRecord,
+    ThroughputSampleRecord,
+)
+
+NR_CELL = CellIdentity(273, 387410, Rat.NR)
+LTE_CELL = CellIdentity(380, 5815, Rat.LTE)
+
+
+def roundtrip(record):
+    return parse_record(record.to_dict())
+
+
+class TestRoundTrips:
+    def test_system_info(self):
+        record = SystemInfoRecord(time_s=1.5, cell=NR_CELL,
+                                  selection_threshold_dbm=-108.0)
+        assert roundtrip(record) == record
+
+    def test_setup_request(self):
+        assert roundtrip(RrcSetupRequestRecord(time_s=0.1, cell=NR_CELL)) == \
+            RrcSetupRequestRecord(time_s=0.1, cell=NR_CELL)
+
+    def test_setup(self):
+        assert roundtrip(RrcSetupRecord(time_s=0.2, cell=LTE_CELL)).cell == LTE_CELL
+
+    def test_setup_complete(self):
+        assert roundtrip(RrcSetupCompleteRecord(time_s=0.3, cell=NR_CELL)) == \
+            RrcSetupCompleteRecord(time_s=0.3, cell=NR_CELL)
+
+    def test_measurement_report(self):
+        record = MeasurementReportRecord(
+            time_s=2.0, event="A3",
+            measurements=(
+                CellMeasurement(NR_CELL, -85.25, -12.5, is_serving=True),
+                CellMeasurement(LTE_CELL, -95.0, -15.0),
+            ))
+        parsed = roundtrip(record)
+        assert parsed == record
+        assert parsed.measurement_of(NR_CELL).is_serving
+        assert parsed.measurement_of(CellIdentity(1, 2, Rat.NR)) is None
+
+    def test_reconfiguration_full(self):
+        record = RrcReconfigurationRecord(
+            time_s=3.0, pcell=LTE_CELL,
+            scell_add_mod=(ScellAddMod(1, NR_CELL),),
+            scell_release_indices=(2, 3),
+            handover_target=CellIdentity(380, 5145, Rat.LTE),
+            scg_pscell=NR_CELL,
+            scg_scells=(CellIdentity(273, 398410, Rat.NR),),
+            release_scg=True,
+            meas_events=(("B1", 387410, -115.0),),
+        )
+        parsed = roundtrip(record)
+        assert parsed == record
+        assert parsed.is_handover
+        assert parsed.adds_scg
+
+    def test_reconfiguration_minimal(self):
+        record = RrcReconfigurationRecord(time_s=3.0, pcell=NR_CELL)
+        parsed = roundtrip(record)
+        assert not parsed.is_handover
+        assert not parsed.adds_scg
+        assert parsed.scell_add_mod == ()
+
+    def test_reconfiguration_complete(self):
+        assert roundtrip(RrcReconfigurationCompleteRecord(time_s=3.1,
+                                                          pcell=NR_CELL)) == \
+            RrcReconfigurationCompleteRecord(time_s=3.1, pcell=NR_CELL)
+
+    def test_scg_failure(self):
+        record = ScgFailureRecord(time_s=4.0, failure_type="randomAccessProblem")
+        assert roundtrip(record) == record
+
+    def test_reestablishment_request_with_cell(self):
+        record = RrcReestablishmentRequestRecord(time_s=5.0,
+                                                 cause="handoverFailure",
+                                                 cell=LTE_CELL)
+        assert roundtrip(record) == record
+
+    def test_reestablishment_request_without_cell(self):
+        record = RrcReestablishmentRequestRecord(time_s=5.0, cause="otherFailure")
+        assert roundtrip(record).cell is None
+
+    def test_reestablishment_complete(self):
+        record = RrcReestablishmentCompleteRecord(time_s=5.5, cell=LTE_CELL)
+        assert roundtrip(record) == record
+
+    def test_release(self):
+        assert roundtrip(RrcReleaseRecord(time_s=6.0)) == RrcReleaseRecord(time_s=6.0)
+
+    def test_mm_state(self):
+        record = MmStateRecord(time_s=7.0, state="DEREGISTERED",
+                               substate="NO_CELL_AVAILABLE")
+        assert roundtrip(record) == record
+
+    def test_throughput(self):
+        record = ThroughputSampleRecord(time_s=8.0, mbps=186.125)
+        assert roundtrip(record) == record
+
+
+class TestCellMeasurement:
+    @given(st.integers(min_value=0, max_value=1007),
+           st.integers(min_value=0, max_value=2_000_000),
+           st.floats(min_value=-140.0, max_value=-40.0),
+           st.floats(min_value=-30.0, max_value=-5.0),
+           st.booleans())
+    def test_round_trip(self, pci, channel, rsrp, rsrq, serving):
+        measurement = CellMeasurement(CellIdentity(pci, channel, Rat.NR),
+                                      round(rsrp, 2), round(rsrq, 2), serving)
+        assert CellMeasurement.from_dict(measurement.to_dict()) == measurement
+
+    def test_lte_rat_round_trip(self):
+        measurement = CellMeasurement(LTE_CELL, -100.0, -18.0)
+        assert CellMeasurement.from_dict(measurement.to_dict()).identity.rat \
+            is Rat.LTE
+
+
+class TestKindTags:
+    @pytest.mark.parametrize("record,kind", [
+        (SystemInfoRecord(time_s=0, cell=NR_CELL), "sys_info"),
+        (MeasurementReportRecord(time_s=0), "meas_report"),
+        (RrcReconfigurationRecord(time_s=0, pcell=NR_CELL), "rrc_reconfiguration"),
+        (ScgFailureRecord(time_s=0), "scg_failure"),
+        (RrcReleaseRecord(time_s=0), "rrc_release"),
+        (MmStateRecord(time_s=0), "mm_state"),
+        (ThroughputSampleRecord(time_s=0), "throughput"),
+    ])
+    def test_kind_in_serialized_dict(self, record, kind):
+        assert record.to_dict()["kind"] == kind
