@@ -23,6 +23,15 @@ def campaign_report(result: CampaignResult) -> str:
     lines.append(f"campaign: {len(result)} runs, "
                  f"{len(result.locations)} locations, "
                  f"operators: {', '.join(result.operators)}")
+    if result.scheduled or result.quarantined:
+        lines.append(f"execution: {result.scheduled} scheduled, "
+                     f"{result.completed} completed, "
+                     f"{len(result.quarantined)} quarantined"
+                     + ("" if result.reconciles() else " (DOES NOT RECONCILE)"))
+        for entry in result.quarantined[:5]:
+            lines.append(f"  quarantined: {entry}")
+        if len(result.quarantined) > 5:
+            lines.append(f"  ... and {len(result.quarantined) - 5} more")
     lines.append("")
 
     lines.append("loop ratios (Figure 6):")

@@ -33,14 +33,56 @@ class RunResult:
         return self.analysis.has_loop
 
 
+@dataclass(frozen=True)
+class QuarantinedRun:
+    """One run that failed permanently and was isolated from the results."""
+
+    operator: str
+    area: str
+    location: str
+    run_index: int
+    error: str
+    attempts: int = 1
+
+    @property
+    def key(self) -> tuple[str, str, str, int]:
+        return (self.operator, self.area, self.location, self.run_index)
+
+    def __str__(self) -> str:
+        return (f"{self.operator}/{self.area}/{self.location}"
+                f"/run{self.run_index} after {self.attempts} attempt(s): "
+                f"{self.error}")
+
+
 @dataclass
 class CampaignResult:
-    """All runs of one campaign, with aggregation helpers."""
+    """All runs of one campaign, with aggregation helpers.
+
+    ``scheduled`` counts every run the campaign planned; completed runs
+    land in ``runs`` and permanently failed ones in ``quarantined``, so
+    ``scheduled == len(runs) + len(quarantined)`` for a finished
+    campaign (filtered sub-results keep ``scheduled == 0``).
+    """
 
     runs: list[RunResult] = field(default_factory=list)
+    quarantined: list[QuarantinedRun] = field(default_factory=list)
+    scheduled: int = 0
 
     def add(self, run: RunResult) -> None:
         self.runs.append(run)
+
+    def quarantine(self, entry: QuarantinedRun) -> None:
+        self.quarantined.append(entry)
+
+    @property
+    def completed(self) -> int:
+        return len(self.runs)
+
+    def reconciles(self) -> bool:
+        """Does every scheduled run appear as completed or quarantined?"""
+        if not self.scheduled:
+            return True
+        return self.scheduled == len(self.runs) + len(self.quarantined)
 
     def __len__(self) -> int:
         return len(self.runs)

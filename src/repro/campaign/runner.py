@@ -5,21 +5,32 @@ per location, repeated 5-minute stationary speed-test runs; every run
 is simulated, captured as a signaling trace, and pushed through the
 analysis pipeline immediately (traces are discarded by default to keep
 a full campaign's memory footprint small).
+
+Execution is fault-tolerant, because partial failure is the normal case
+in a months-long field campaign: each run executes through a seeded
+retry policy, runs that fail permanently are quarantined into
+``CampaignResult.quarantined`` instead of aborting the campaign, and an
+optional append-only JSONL checkpoint lets an interrupted campaign
+resume from the last completed run (completed runs are re-analysed from
+their checkpointed traces rather than re-simulated).
 """
 
 from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable
+from pathlib import Path
+from typing import Callable, Iterator
 
-from repro.campaign.dataset import CampaignResult, RunResult
+from repro.campaign.dataset import CampaignResult, QuarantinedRun, RunResult
 from repro.campaign.devices import device as device_by_name
 from repro.campaign.locations import sparse_locations
 from repro.campaign.operators import OperatorProfile, build_deployment
 from repro.core.pipeline import analyze_trace
 from repro.radio.deployment import AreaDeployment
 from repro.radio.geometry import Point
+from repro.resilience.checkpoint import CampaignCheckpoint, CheckpointEntry, RunKey
+from repro.resilience.retry import RetryPolicy, execute_with_retry
 from repro.rrc.capabilities import DeviceCapabilities
 from repro.rrc.session import RunConfig, simulate_run
 from repro.traces.log import TraceMetadata
@@ -100,6 +111,13 @@ class CampaignConfig:
     The defaults reproduce the paper's design (A1 gets 25 locations and
     10 runs each, other areas 5-7 locations and 5 runs each); tests pass
     smaller numbers.
+
+    The resilience knobs: ``max_retries`` / ``retry_backoff_s`` bound
+    the per-run retry loop (backoff is seeded and deterministic, see
+    :mod:`repro.resilience.retry`), ``checkpoint_path`` enables
+    append-only JSONL checkpointing of every finished run, and
+    ``resume=True`` restores completed runs from that checkpoint instead
+    of re-simulating them (failed runs are always re-attempted).
     """
 
     device_name: str = "OnePlus 12R"
@@ -111,6 +129,10 @@ class CampaignConfig:
     keep_traces: bool = False
     seed: int = 0
     area_names: list[str] | None = None
+    max_retries: int = 0
+    retry_backoff_s: float = 0.5
+    checkpoint_path: str | Path | None = None
+    resume: bool = False
 
     def locations_for(self, area_name: str) -> int:
         return self.a1_locations if area_name == "A1" else self.locations_per_area
@@ -119,17 +141,40 @@ class CampaignConfig:
         return self.a1_runs_per_location if area_name == "A1" \
             else self.runs_per_location
 
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(max_retries=self.max_retries,
+                           backoff_base_s=self.retry_backoff_s,
+                           seed=self.seed)
+
+
+#: One schedulable run: everything run_once needs, plus its identity key.
+@dataclass(frozen=True)
+class ScheduledRun:
+    key: RunKey
+    deployment: AreaDeployment
+    profile: OperatorProfile
+    point: Point
+    location_name: str
+    run_index: int
+
 
 @dataclass
 class CampaignRunner:
-    """Run a full campaign over one or more operator profiles."""
+    """Run a full campaign over one or more operator profiles.
+
+    ``run_fn`` defaults to :func:`run_once`; the chaos harness swaps in
+    a wrapper that injects run failures and trace corruption.  ``sleep``
+    is the retry pacing function (``None`` records backoff without
+    waiting, which simulations want).
+    """
 
     profiles: list[OperatorProfile]
     config: CampaignConfig = field(default_factory=CampaignConfig)
+    run_fn: Callable[..., RunResult] | None = None
+    sleep: Callable[[float], None] | None = None
 
-    def run(self) -> CampaignResult:
-        result = CampaignResult()
-        test_device = device_by_name(self.config.device_name)
+    def schedule(self) -> Iterator[ScheduledRun]:
+        """Every run this campaign will execute, in order."""
         for profile in self.profiles:
             for spec in profile.areas:
                 if self.config.area_names is not None \
@@ -143,10 +188,93 @@ class CampaignRunner:
                 for index, point in enumerate(points):
                     location_name = f"{spec.name}-P{index + 1}"
                     for run_index in range(self.config.runs_for(spec.name)):
-                        result.add(run_once(
-                            deployment, profile, test_device, point,
-                            location_name, run_index,
-                            duration_s=self.config.duration_s,
-                            keep_trace=self.config.keep_traces,
-                        ))
+                        yield ScheduledRun(
+                            key=(profile.name, spec.name, location_name,
+                                 run_index),
+                            deployment=deployment, profile=profile,
+                            point=point, location_name=location_name,
+                            run_index=run_index)
+
+    def run(self) -> CampaignResult:
+        result = CampaignResult()
+        checkpoint, restored = self._open_checkpoint()
+        policy = self.config.retry_policy()
+        run_fn = self.run_fn or run_once
+        test_device = device_by_name(self.config.device_name)
+        for scheduled in self.schedule():
+            result.scheduled += 1
+            entry = restored.get(scheduled.key)
+            if entry is not None and entry.succeeded:
+                restored_run = self._restore(entry, scheduled.point)
+                if restored_run is not None:
+                    result.add(restored_run)
+                    continue
+            self._execute(scheduled, run_fn, test_device, policy,
+                          checkpoint, result)
         return result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _open_checkpoint(self) -> tuple[CampaignCheckpoint | None,
+                                        dict[RunKey, CheckpointEntry]]:
+        if self.config.checkpoint_path is None:
+            return None, {}
+        checkpoint = CampaignCheckpoint(self.config.checkpoint_path)
+        if self.config.resume:
+            return checkpoint, checkpoint.load()
+        # A fresh (non-resumed) campaign must not inherit stale entries.
+        checkpoint.path.unlink(missing_ok=True)
+        return checkpoint, {}
+
+    def _execute(self, scheduled: ScheduledRun, run_fn, test_device,
+                 policy: RetryPolicy, checkpoint: CampaignCheckpoint | None,
+                 result: CampaignResult) -> None:
+        """One run through the retry loop: add, checkpoint or quarantine."""
+        keep_trace = self.config.keep_traces or checkpoint is not None
+        outcome = execute_with_retry(
+            lambda: run_fn(scheduled.deployment, scheduled.profile,
+                           test_device, scheduled.point,
+                           scheduled.location_name, scheduled.run_index,
+                           duration_s=self.config.duration_s,
+                           keep_trace=keep_trace),
+            policy, key=scheduled.key, sleep=self.sleep)
+        if not outcome.succeeded:
+            error = outcome.error
+            quarantined = QuarantinedRun(
+                *scheduled.key,
+                error=f"{type(error).__name__}: {error}",
+                attempts=outcome.attempts)
+            result.quarantine(quarantined)
+            if checkpoint is not None:
+                checkpoint.record_failure(scheduled.key, quarantined.error,
+                                          outcome.attempts)
+            return
+        run_result: RunResult = outcome.value
+        if checkpoint is not None and run_result.trace is not None:
+            checkpoint.record_success(scheduled.key,
+                                      run_result.trace.to_jsonl())
+        if not self.config.keep_traces:
+            run_result.trace = None
+        result.add(run_result)
+
+    def _restore(self, entry: CheckpointEntry,
+                 point: Point) -> RunResult | None:
+        """Rebuild a RunResult from a checkpointed trace (no re-simulation).
+
+        Returns ``None`` when the checkpointed trace yields no usable
+        records (e.g. the file was corrupted on disk), in which case the
+        run is re-executed.
+        """
+        from repro.traces.parser import parse_trace
+
+        parsed = parse_trace(entry.trace_jsonl or "", errors="recover")
+        trace = parsed.trace
+        if not trace.records:
+            return None
+        return RunResult(
+            metadata=trace.metadata,
+            analysis=analyze_trace(trace),
+            trace=trace if self.config.keep_traces else None,
+            point=point)

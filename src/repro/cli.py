@@ -1,22 +1,32 @@
 """Command-line interface.
 
-Three subcommands mirror the reproduction's main workflows::
+Four subcommands mirror the reproduction's main workflows::
 
     python -m repro campaign --operator OP_T --areas A1 --locations 6 --runs 3
         Run a scaled measurement campaign and print the summary report.
+        Supports per-run retries (--max-retries), checkpointing
+        (--checkpoint) and resuming an interrupted campaign (--resume).
 
-    python -m repro analyze trace.jsonl
+    python -m repro analyze trace.jsonl [--errors recover]
         Analyse a saved signaling trace (loop detection, classification,
-        performance) — the released-dataset workflow.
+        performance) — the released-dataset workflow.  Corrupt input
+        exits with code 1 and a one-line diagnostic in strict mode, or
+        degrades gracefully with ``--errors recover``.
 
     python -m repro simulate --operator OP_V --area A9 --out trace.jsonl
         Simulate one stationary run and save its signaling trace.
+
+    python -m repro faults trace.jsonl --out corrupted.jsonl --rate 0.05
+        Deterministically corrupt a saved trace (the field-capture fault
+        model: truncation, drops, duplicates, reordering, mangling) and
+        optionally verify that recover-mode ingestion absorbs it.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.analysis.report import campaign_report, run_report
 from repro.campaign import (
@@ -30,7 +40,8 @@ from repro.campaign import (
 from repro.campaign.locations import sparse_locations
 from repro.campaign.runner import run_once
 from repro.core.pipeline import analyze_trace
-from repro.traces.log import SignalingTrace
+from repro.resilience.faults import FAULT_KINDS, FaultInjector
+from repro.traces.parser import TraceParseError, parse_trace
 
 
 def _add_campaign_parser(subparsers) -> None:
@@ -49,12 +60,24 @@ def _add_campaign_parser(subparsers) -> None:
                         help="run duration in seconds (default 300)")
     parser.add_argument("--device", default="OnePlus 12R",
                         help="phone model (default: OnePlus 12R)")
+    parser.add_argument("--max-retries", type=int, default=0,
+                        help="retries per failed run before quarantining it "
+                             "(default 0)")
+    parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="append-only JSONL checkpoint of finished runs")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume completed runs from --checkpoint "
+                             "instead of re-simulating them")
 
 
 def _add_analyze_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "analyze", help="analyse a saved signaling trace (JSONL)")
     parser.add_argument("trace", help="path to a trace .jsonl file")
+    parser.add_argument("--errors", choices=("strict", "recover"),
+                        default="strict",
+                        help="strict: fail on the first malformed line; "
+                             "recover: skip malformed lines and report them")
 
 
 def _add_simulate_parser(subparsers) -> None:
@@ -73,6 +96,27 @@ def _add_simulate_parser(subparsers) -> None:
     parser.add_argument("--out", required=True, help="output .jsonl path")
 
 
+def _add_faults_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "faults", help="deterministically corrupt a saved trace "
+                       "(fault-injection harness)")
+    parser.add_argument("trace", help="path to a clean trace .jsonl file")
+    parser.add_argument("--out", default=None,
+                        help="where to write the corrupted trace "
+                             "(default: dry run)")
+    parser.add_argument("--rate", type=float, default=0.05,
+                        help="per-record corruption probability (default 0.05)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fault-injection seed (default 0)")
+    parser.add_argument("--kinds", nargs="*", choices=FAULT_KINDS,
+                        default=None,
+                        help=f"fault kinds to inject (default: all of "
+                             f"{', '.join(FAULT_KINDS)})")
+    parser.add_argument("--verify", action="store_true",
+                        help="re-parse the corrupted trace in recover mode "
+                             "and print the ingestion report")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -82,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign_parser(subparsers)
     _add_analyze_parser(subparsers)
     _add_simulate_parser(subparsers)
+    _add_faults_parser(subparsers)
     return parser
 
 
@@ -96,15 +141,49 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         runs_per_location=args.runs,
         a1_runs_per_location=args.runs,
         area_names=args.areas,
+        max_retries=args.max_retries,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
     )
-    result = CampaignRunner(profiles, config).run()
+    try:
+        result = CampaignRunner(profiles, config).run()
+    except KeyboardInterrupt:
+        if args.checkpoint:
+            print(f"interrupted; resume with --checkpoint {args.checkpoint} "
+                  f"--resume", file=sys.stderr)
+        else:
+            print("interrupted (no checkpoint; rerun with --checkpoint to "
+                  "make campaigns resumable)", file=sys.stderr)
+        return 130
     print(campaign_report(result))
     return 0
 
 
+def _read_trace_text(path_arg: str) -> str | None:
+    """Read a trace file, printing a one-line diagnostic on failure."""
+    try:
+        return Path(path_arg).read_text(encoding="utf-8")
+    except OSError as error:
+        reason = error.strerror or error
+        print(f"error: cannot read trace {path_arg}: {reason}",
+              file=sys.stderr)
+        return None
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    trace = SignalingTrace.load(args.trace)
-    analysis = analyze_trace(trace)
+    text = _read_trace_text(args.trace)
+    if text is None:
+        return 1
+    try:
+        parsed = parse_trace(text, errors=args.errors)
+    except TraceParseError as error:
+        print(f"error: corrupt trace {args.trace}: {error} "
+              f"(use --errors recover to skip malformed lines)",
+              file=sys.stderr)
+        return 1
+    if args.errors == "recover" and not parsed.report.ok:
+        print(f"recovered: {parsed.report.summary()}")
+    analysis = analyze_trace(parsed.trace)
     print(run_report(analysis))
     return 0
 
@@ -126,10 +205,28 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    text = _read_trace_text(args.trace)
+    if text is None:
+        return 1
+    kinds = tuple(args.kinds) if args.kinds else FAULT_KINDS
+    injector = FaultInjector(seed=args.seed, rate=args.rate, kinds=kinds)
+    corrupted, report = injector.corrupt(text)
+    print(report.summary())
+    if args.out:
+        Path(args.out).write_text(corrupted, encoding="utf-8")
+        print(f"wrote corrupted trace to {args.out}")
+    if args.verify:
+        parsed = parse_trace(corrupted, errors="recover")
+        print(f"recover-mode parse: {parsed.report.summary()}")
+    return 0
+
+
 _COMMANDS = {
     "campaign": _cmd_campaign,
     "analyze": _cmd_analyze,
     "simulate": _cmd_simulate,
+    "faults": _cmd_faults,
 }
 
 

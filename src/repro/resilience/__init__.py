@@ -1,0 +1,81 @@
+"""Resilience subsystem: fault-tolerant execution + corruption-tolerant ingestion.
+
+Field measurement is lossy by nature — truncated captures, dropped RRC
+lines, crashed runs — so the production pipeline treats partial failure
+as the normal case.  This package provides the pieces the three
+pipeline layers share:
+
+* :mod:`repro.resilience.errors` — the structured exception taxonomy
+  raised by trace ingestion (line numbers + record kinds).
+* :mod:`repro.resilience.ingest` — :class:`ParseReport`, the recover-mode
+  accounting of what was kept, skipped and why.
+* :mod:`repro.resilience.retry` — seeded deterministic retry/backoff for
+  campaign runs.
+* :mod:`repro.resilience.checkpoint` — append-only JSONL campaign
+  checkpointing for interrupt/resume.
+* :mod:`repro.resilience.faults` — the seeded :class:`FaultInjector`
+  that corrupts serialized traces the way real captures go bad.
+* :mod:`repro.resilience.chaos` — the chaos harness running the full
+  campaign→analyze pipeline under injected faults.
+"""
+
+from repro.resilience.chaos import (
+    ChaosConfig,
+    ChaosHarness,
+    ChaosReport,
+    ChaosRunError,
+    SimulatedInterrupt,
+    run_chaos_campaign,
+)
+from repro.resilience.checkpoint import (
+    CampaignCheckpoint,
+    CheckpointEntry,
+    RunKey,
+)
+from repro.resilience.errors import (
+    MalformedHeaderError,
+    MalformedRecordError,
+    OutOfOrderRecordError,
+    TraceDecodeError,
+    TraceParseError,
+    UnknownRecordKindError,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    InjectionReport,
+)
+from repro.resilience.ingest import ParseReport, QuarantinedLine
+from repro.resilience.retry import (
+    AttemptOutcome,
+    RetryPolicy,
+    execute_with_retry,
+)
+
+__all__ = [
+    "AttemptOutcome",
+    "CampaignCheckpoint",
+    "ChaosConfig",
+    "ChaosHarness",
+    "ChaosReport",
+    "ChaosRunError",
+    "CheckpointEntry",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "InjectionReport",
+    "MalformedHeaderError",
+    "MalformedRecordError",
+    "OutOfOrderRecordError",
+    "ParseReport",
+    "QuarantinedLine",
+    "RetryPolicy",
+    "RunKey",
+    "SimulatedInterrupt",
+    "TraceDecodeError",
+    "TraceParseError",
+    "UnknownRecordKindError",
+    "execute_with_retry",
+    "run_chaos_campaign",
+]

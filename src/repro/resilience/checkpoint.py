@@ -1,0 +1,97 @@
+"""Append-only campaign checkpointing.
+
+Every completed (or definitively failed) run is appended to a JSONL
+checkpoint file as soon as it finishes, so an interrupted campaign
+resumes from the last completed run instead of starting over.  Success
+entries embed the run's serialized signaling trace: on resume the trace
+is re-parsed and re-analysed — cheap — instead of re-simulated
+(re-measured) — expensive — which mirrors how a field campaign would
+reload captures rather than redrive an area.
+
+The reader is deliberately corruption-tolerant: a process killed
+mid-append leaves a truncated final line, which is simply ignored (that
+run re-executes on resume).  Later entries for the same key win, so
+re-running a previously failed run overwrites its quarantine entry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+#: (operator, area, location, run_index) — the identity of one run.
+RunKey = tuple[str, str, str, int]
+
+
+@dataclass(frozen=True)
+class CheckpointEntry:
+    """One checkpointed run: its key, outcome, and payload."""
+
+    key: RunKey
+    status: str  # "ok" | "failed"
+    trace_jsonl: str | None = None
+    error: str | None = None
+    attempts: int = 1
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == "ok"
+
+
+class CampaignCheckpoint:
+    """Append-only JSONL record of per-run campaign outcomes."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def record_success(self, key: RunKey, trace_jsonl: str) -> None:
+        self._append({"key": list(key), "status": "ok",
+                      "trace": trace_jsonl})
+
+    def record_failure(self, key: RunKey, error: str, attempts: int) -> None:
+        self._append({"key": list(key), "status": "failed",
+                      "error": error, "attempts": attempts})
+
+    def _append(self, entry: dict) -> None:
+        line = json.dumps(entry)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def load(self) -> dict[RunKey, CheckpointEntry]:
+        """Read back all valid entries; malformed lines are skipped."""
+        if not self.path.exists():
+            return {}
+        entries: dict[RunKey, CheckpointEntry] = {}
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            entry = _decode_entry(line)
+            if entry is not None:
+                entries[entry.key] = entry
+        return entries
+
+
+def _decode_entry(line: str) -> CheckpointEntry | None:
+    stripped = line.strip()
+    if not stripped:
+        return None
+    try:
+        data = json.loads(stripped)
+        raw_key = data["key"]
+        key = (str(raw_key[0]), str(raw_key[1]), str(raw_key[2]),
+               int(raw_key[3]))
+        status = str(data["status"])
+        if status == "ok":
+            return CheckpointEntry(key=key, status=status,
+                                   trace_jsonl=str(data["trace"]))
+        if status == "failed":
+            return CheckpointEntry(key=key, status=status,
+                                   error=str(data.get("error", "")),
+                                   attempts=int(data.get("attempts", 1)))
+    except (json.JSONDecodeError, KeyError, IndexError, TypeError, ValueError):
+        return None
+    return None

@@ -1,0 +1,69 @@
+"""Structured exception taxonomy for trace ingestion.
+
+Real NSG captures are messy — truncated files, dropped or duplicated
+lines, clock jumps (Narayanan et al. report the same capture-loss
+problems in drive testing) — so the parser needs to say *what* is wrong
+with a line, not just raise a bare ``KeyError`` from deep inside a
+record decoder.  Every ingestion failure surfaces as a
+:class:`TraceParseError` subclass carrying the one-based line number of
+the offending JSONL line and the record kind it claimed to be, which is
+what recover-mode quarantining and the :class:`~repro.resilience.ingest.ParseReport`
+tallies key on.
+
+The taxonomy (all subclasses of :class:`TraceParseError`, itself a
+``ValueError`` for backward compatibility):
+
+* :class:`TraceDecodeError` — the line is not valid JSON (truncation).
+* :class:`MalformedHeaderError` — the ``{"meta": ...}`` header line is
+  present but undecodable.
+* :class:`UnknownRecordKindError` — valid JSON, but the ``kind`` tag
+  names no known record type.
+* :class:`MalformedRecordError` — a known record kind whose payload is
+  missing fields or carries values of the wrong type.
+* :class:`OutOfOrderRecordError` — a well-formed record whose timestamp
+  precedes the trace tail (shuffled/duplicated capture segments).
+"""
+
+from __future__ import annotations
+
+
+class TraceParseError(ValueError):
+    """Base class for malformed trace input.
+
+    ``line_number`` is the one-based JSONL line the error occurred on
+    (``None`` when parsing a bare record dict outside file context) and
+    ``record_kind`` is the record's ``kind`` tag where one could be
+    determined (``"meta"`` for the header line, ``"?"`` when unknown).
+    """
+
+    def __init__(self, message: str, *, line_number: int | None = None,
+                 record_kind: str | None = None):
+        super().__init__(message)
+        self.message = message
+        self.line_number = line_number
+        self.record_kind = record_kind
+
+    def __str__(self) -> str:
+        if self.line_number is None:
+            return self.message
+        return f"line {self.line_number}: {self.message}"
+
+
+class TraceDecodeError(TraceParseError):
+    """A JSONL line that is not valid JSON (e.g. a truncated write)."""
+
+
+class MalformedHeaderError(TraceParseError):
+    """A ``{"meta": ...}`` header whose contents cannot be decoded."""
+
+
+class UnknownRecordKindError(TraceParseError):
+    """A record whose ``kind`` tag names no known record type."""
+
+
+class MalformedRecordError(TraceParseError):
+    """A known record kind with missing fields or mistyped values."""
+
+
+class OutOfOrderRecordError(TraceParseError):
+    """A record whose timestamp precedes the current trace tail."""

@@ -1,0 +1,231 @@
+"""Seeded fault injection for serialized traces.
+
+A :class:`FaultInjector` deterministically corrupts JSONL trace text the
+way real captures go bad in the field: truncated writes, dropped and
+duplicated log lines, timestamps that jump backwards, and mangled
+fields.  It is the test substrate for recover-mode ingestion and for the
+chaos harness — identical seeds always produce identical corruption, so
+quarantine lists and :class:`~repro.resilience.ingest.ParseReport`
+tallies are reproducible.
+
+Fault kinds (``FAULT_KINDS``):
+
+* ``truncate`` — cut a line short until it is no longer valid JSON.
+* ``drop`` — delete a record line outright.
+* ``duplicate`` — repeat a record line (duplicate capture segment).
+* ``reorder`` — move one record's timestamp before the trace start,
+  violating the non-decreasing time order.
+* ``mangle`` — corrupt a field (unknown kind tag, missing or
+  non-numeric timestamp, broken payload value).
+
+Only record lines are targeted; the ``{"meta": ...}`` header is left
+alone so tallies stay attributable to injected faults.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+FAULT_KINDS = ("truncate", "drop", "duplicate", "reorder", "mangle")
+
+_MANGLE_STRATEGIES = ("unknown_kind", "drop_time", "bad_time", "bad_payload")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault: what was done to which original line."""
+
+    kind: str
+    line_number: int  # one-based line number in the *original* text
+
+    def __str__(self) -> str:
+        return f"{self.kind}@{self.line_number}"
+
+
+@dataclass
+class InjectionReport:
+    """All faults one :meth:`FaultInjector.corrupt` call injected."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.events)
+
+    def counts(self) -> dict[str, int]:
+        return dict(Counter(event.kind for event in self.events))
+
+    def summary(self) -> str:
+        if not self.events:
+            return "no faults injected"
+        parts = ", ".join(f"{kind} x{count}" for kind, count
+                          in sorted(self.counts().items()))
+        return f"injected {self.n_faults} faults ({parts})"
+
+
+def _is_header(line: str) -> bool:
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError:
+        return False
+    return isinstance(data, dict) and "meta" in data
+
+
+def _truncate_line(line: str) -> str:
+    """Cut a line short, guaranteeing the remainder is invalid JSON."""
+    cut = line[:max(1, len(line) // 2)]
+    while cut:
+        try:
+            json.loads(cut)
+        except json.JSONDecodeError:
+            return cut
+        cut = cut[:-1]
+    return "{"
+
+
+class FaultInjector:
+    """Deterministically corrupt serialized traces.
+
+    ``rate`` is the per-record-line corruption probability used by
+    :meth:`corrupt`; :meth:`inject_one` places exactly one fault of a
+    chosen kind, which is what the property suite uses to reconcile
+    tallies fault-by-fault.
+    """
+
+    def __init__(self, seed: int = 0, rate: float = 0.05,
+                 kinds: tuple[str, ...] = FAULT_KINDS):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        unknown = set(kinds) - set(FAULT_KINDS)
+        if unknown:
+            raise ValueError(f"unknown fault kinds: {sorted(unknown)}")
+        if not kinds:
+            raise ValueError("at least one fault kind is required")
+        self.seed = seed
+        self.rate = rate
+        self.kinds = tuple(kinds)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def corrupt(self, text: str) -> tuple[str, InjectionReport]:
+        """Corrupt ~``rate`` of the record lines; return (text, report)."""
+        rng = random.Random(self.seed)
+        lines = text.splitlines()
+        candidates = self._record_line_indices(lines)
+        plan: dict[int, str] = {}
+        for order, index in enumerate(candidates):
+            if rng.random() >= self.rate:
+                continue
+            kinds = self.kinds
+            if order == 0 and "reorder" in kinds:
+                # The first record cannot arrive "before the trace":
+                # reordering it is a no-op, so never plan one there.
+                kinds = tuple(k for k in kinds if k != "reorder") or ("mangle",)
+            plan[index] = rng.choice(kinds)
+        return self._apply(lines, plan, rng)
+
+    def inject_one(self, text: str, kind: str,
+                   line_number: int | None = None) -> tuple[str, InjectionReport]:
+        """Inject exactly one fault of ``kind``.
+
+        ``line_number`` picks the (one-based) target line; by default a
+        seeded choice among eligible record lines.  Returns the original
+        text untouched (empty report) when no line is eligible.
+        """
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        rng = random.Random(self.seed)
+        lines = text.splitlines()
+        candidates = self._record_line_indices(lines)
+        if kind == "reorder":
+            candidates = candidates[1:]  # need a preceding record
+        if line_number is not None:
+            index = line_number - 1
+            if index not in candidates:
+                raise ValueError(
+                    f"line {line_number} is not an eligible record line")
+            candidates = [index]
+        if not candidates:
+            return text, InjectionReport()
+        return self._apply(lines, {rng.choice(candidates): kind}, rng)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _record_line_indices(lines: list[str]) -> list[int]:
+        return [index for index, line in enumerate(lines)
+                if line.strip() and not _is_header(line)]
+
+    def _apply(self, lines: list[str], plan: dict[int, str],
+               rng: random.Random) -> tuple[str, InjectionReport]:
+        first_record_t = self._first_record_time(lines)
+        report = InjectionReport()
+        output: list[str] = []
+        for index, line in enumerate(lines):
+            kind = plan.get(index)
+            if kind is None:
+                output.append(line)
+                continue
+            report.events.append(FaultEvent(kind=kind, line_number=index + 1))
+            if kind == "truncate":
+                output.append(_truncate_line(line))
+            elif kind == "drop":
+                pass
+            elif kind == "duplicate":
+                output.extend([line, line])
+            elif kind == "reorder":
+                output.append(self._rewind_timestamp(line, first_record_t))
+            elif kind == "mangle":
+                output.append(self._mangle(line, rng))
+        return "\n".join(output) + "\n", report
+
+    @staticmethod
+    def _first_record_time(lines: list[str]) -> float:
+        for line in lines:
+            if not line.strip() or _is_header(line):
+                continue
+            try:
+                value = json.loads(line).get("t")
+                return float(value)
+            except (json.JSONDecodeError, AttributeError, TypeError, ValueError):
+                continue
+        return 0.0
+
+    @staticmethod
+    def _rewind_timestamp(line: str, first_record_t: float) -> str:
+        data = json.loads(line)
+        data["t"] = first_record_t - 1.0
+        return json.dumps(data)
+
+    @staticmethod
+    def _mangle(line: str, rng: random.Random) -> str:
+        from repro.traces.parser import parse_record
+
+        data = json.loads(line)
+        strategy = rng.choice(_MANGLE_STRATEGIES)
+        mangled = dict(data)
+        if strategy == "unknown_kind":
+            mangled["kind"] = "__mangled__"
+        elif strategy == "drop_time":
+            mangled.pop("t", None)
+        elif strategy == "bad_time":
+            mangled["t"] = "not-a-time"
+        else:  # bad_payload: break one payload value
+            payload_keys = [k for k in mangled if k not in ("t", "kind")]
+            if payload_keys:
+                mangled[rng.choice(payload_keys)] = {"__mangled__": True}
+        try:
+            parse_record(mangled)
+        except ValueError:
+            return json.dumps(mangled)
+        # Some payload fields tolerate arbitrary values (e.g. fields
+        # coerced through str()); guarantee a parse failure regardless.
+        mangled["kind"] = "__mangled__"
+        return json.dumps(mangled)

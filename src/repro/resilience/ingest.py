@@ -1,0 +1,102 @@
+"""Parse accounting: what recover-mode ingestion kept, skipped and why.
+
+A :class:`ParseReport` is filled in by
+:func:`repro.traces.parser.parse_trace` as it walks a JSONL capture.  In
+``errors="strict"`` mode it only ever records successes (the first
+failure raises); in ``errors="recover"`` mode every malformed line is
+quarantined as a :class:`QuarantinedLine` and tallied by record kind and
+error class, so corrupt traces degrade gracefully *and auditable*:
+``parsed_records + skipped_records`` always equals the number of record
+lines presented, and chaos tests reconcile the tallies against the
+faults they injected.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.resilience.errors import TraceParseError
+
+#: Quarantined raw lines are clipped to this many characters.
+_RAW_CLIP = 200
+
+
+@dataclass(frozen=True)
+class QuarantinedLine:
+    """One skipped JSONL line: where it was, what it claimed, what failed."""
+
+    line_number: int
+    record_kind: str
+    error_class: str
+    message: str
+    raw: str
+
+    def __str__(self) -> str:
+        return (f"line {self.line_number} [{self.record_kind}] "
+                f"{self.error_class}: {self.message}")
+
+
+@dataclass
+class ParseReport:
+    """Bookkeeping of one trace ingestion.
+
+    ``errors_by_kind`` keys on the record kind an offending line claimed
+    (``"json"`` for undecodable lines, ``"meta"`` for the header,
+    ``"?"`` when no kind could be read); ``errors_by_class`` keys on the
+    :mod:`repro.resilience.errors` exception class name.
+    """
+
+    total_lines: int = 0
+    blank_lines: int = 0
+    parsed_records: int = 0
+    header_parsed: bool = False
+    quarantine: list[QuarantinedLine] = field(default_factory=list)
+    errors_by_kind: Counter = field(default_factory=Counter)
+    errors_by_class: Counter = field(default_factory=Counter)
+
+    @property
+    def skipped_records(self) -> int:
+        return len(self.quarantine)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing was quarantined."""
+        return not self.quarantine
+
+    def record_success(self) -> None:
+        self.parsed_records += 1
+
+    def record_error(self, error: TraceParseError, raw: str) -> None:
+        """Quarantine one malformed line and update the tallies."""
+        kind = error.record_kind or "?"
+        entry = QuarantinedLine(
+            line_number=error.line_number or 0,
+            record_kind=kind,
+            error_class=type(error).__name__,
+            message=error.message,
+            raw=raw[:_RAW_CLIP],
+        )
+        self.quarantine.append(entry)
+        self.errors_by_kind[kind] += 1
+        self.errors_by_class[type(error).__name__] += 1
+
+    def tallies(self) -> dict:
+        """A plain-dict snapshot used by chaos tests and CLI output."""
+        return {
+            "total_lines": self.total_lines,
+            "blank_lines": self.blank_lines,
+            "parsed_records": self.parsed_records,
+            "skipped_records": self.skipped_records,
+            "errors_by_kind": dict(self.errors_by_kind),
+            "errors_by_class": dict(self.errors_by_class),
+        }
+
+    def summary(self) -> str:
+        """One line suitable for a CLI diagnostic."""
+        if self.ok:
+            return f"parsed {self.parsed_records} records, no errors"
+        by_class = ", ".join(f"{name} x{count}" for name, count
+                             in sorted(self.errors_by_class.items()))
+        return (f"parsed {self.parsed_records} records, "
+                f"skipped {self.skipped_records} ({by_class})")

@@ -1,0 +1,100 @@
+"""Deterministic retry with seeded backoff for campaign runs.
+
+Field campaigns lose individual runs (app crashes, modem wedges, a
+server that stops serving) without invalidating the campaign.  The
+runner therefore executes every run through :func:`execute_with_retry`:
+a bounded number of attempts with exponential backoff whose jitter is
+*seeded* — derived from the retry seed and the run key, never from wall
+clock or global RNG state — so a re-run of the same campaign retries at
+identical simulated delays and quarantines identical runs.
+
+Sleeping is injected: pass ``sleep=time.sleep`` for real pacing, or
+leave it ``None`` (the default) to record the schedule without waiting,
+which is what simulations and tests want.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+def _mix(*parts: object) -> int:
+    return zlib.crc32("|".join(str(part) for part in parts).encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a failed run, and how long to wait.
+
+    Attempt ``n`` (zero-based retry index) backs off
+    ``backoff_base_s * backoff_factor**n``, scaled by a deterministic
+    jitter in ``[1, 1 + jitter]`` derived from ``(seed, key, n)``.
+    ``max_retries == 0`` means one attempt, no retries.
+    """
+
+    max_retries: int = 0
+    backoff_base_s: float = 0.5
+    backoff_factor: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+
+    def backoff_s(self, key: tuple, retry_index: int) -> float:
+        """Deterministic backoff before retry ``retry_index`` of ``key``."""
+        base = self.backoff_base_s * self.backoff_factor ** retry_index
+        unit = _mix(self.seed, *key, retry_index) / 0xFFFFFFFF
+        return base * (1.0 + self.jitter * unit)
+
+    def schedule(self, key: tuple) -> list[float]:
+        """The full backoff schedule this policy would use for ``key``."""
+        return [self.backoff_s(key, n) for n in range(self.max_retries)]
+
+
+@dataclass
+class AttemptOutcome:
+    """What happened when a run was pushed through the retry loop."""
+
+    value: object = None
+    attempts: int = 0
+    error: Exception | None = None
+    backoffs_s: list[float] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.error is None
+
+
+def execute_with_retry(fn: Callable[[], object], policy: RetryPolicy,
+                       key: tuple = (),
+                       sleep: Callable[[float], None] | None = None,
+                       ) -> AttemptOutcome:
+    """Run ``fn`` under ``policy``; never raises on run failure.
+
+    ``Exception`` s from ``fn`` are retried up to ``policy.max_retries``
+    times and the last one is returned in the outcome; ``BaseException``
+    (e.g. ``KeyboardInterrupt``) propagates so an operator can stop a
+    campaign and later resume it from the checkpoint.
+    """
+    outcome = AttemptOutcome()
+    for attempt in range(policy.max_retries + 1):
+        outcome.attempts = attempt + 1
+        try:
+            outcome.value = fn()
+            outcome.error = None
+            return outcome
+        except Exception as error:  # noqa: BLE001 - per-run isolation
+            outcome.error = error
+            if attempt >= policy.max_retries:
+                break
+            delay = policy.backoff_s(key, attempt)
+            outcome.backoffs_s.append(delay)
+            if sleep is not None and delay > 0:
+                sleep(delay)
+    return outcome

@@ -26,10 +26,17 @@ from repro.traces.records import (
     ThroughputSampleRecord,
 )
 from repro.traces.log import SignalingTrace
-from repro.traces.parser import TraceParseError, parse_jsonl, parse_record
+from repro.traces.parser import (
+    ParseResult,
+    TraceParseError,
+    parse_jsonl,
+    parse_record,
+    parse_trace,
+)
 
 __all__ = [
     "CellMeasurement",
+    "ParseResult",
     "MeasurementReportRecord",
     "MmStateRecord",
     "Record",
@@ -48,4 +55,5 @@ __all__ = [
     "TraceParseError",
     "parse_jsonl",
     "parse_record",
+    "parse_trace",
 ]

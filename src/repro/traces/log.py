@@ -103,8 +103,18 @@ class SignalingTrace:
         Path(path).write_text(self.to_jsonl(), encoding="utf-8")
 
     @staticmethod
-    def load(path: str | Path) -> "SignalingTrace":
-        """Read a trace back from a JSONL file (see :mod:`repro.traces.parser`)."""
-        from repro.traces.parser import parse_jsonl
+    def load(path: str | Path, errors: str = "strict") -> "SignalingTrace":
+        """Read a trace back from a JSONL file (see :mod:`repro.traces.parser`).
 
-        return parse_jsonl(Path(path).read_text(encoding="utf-8"))
+        ``errors="recover"`` skips malformed lines instead of raising;
+        use :meth:`load_with_report` when the skip accounting matters.
+        """
+        return SignalingTrace.load_with_report(path, errors=errors).trace
+
+    @staticmethod
+    def load_with_report(path: str | Path, errors: str = "strict"):
+        """Read a trace plus its :class:`~repro.resilience.ingest.ParseReport`."""
+        from repro.traces.parser import parse_trace
+
+        return parse_trace(Path(path).read_text(encoding="utf-8"),
+                           errors=errors)

@@ -4,12 +4,32 @@ This is the entry point of the analysis half: whether a trace was just
 simulated in-process or loaded from a JSONL file on disk, the loop
 pipeline consumes parsed :class:`~repro.traces.records.Record` objects
 and nothing else.
+
+Real captures are messy, so ingestion has two modes:
+
+* ``errors="strict"`` (default) — the first malformed line raises a
+  :class:`~repro.resilience.errors.TraceParseError` subclass carrying
+  the line number and record kind.
+* ``errors="recover"`` — malformed lines are quarantined into the
+  returned :class:`~repro.resilience.ingest.ParseReport` and parsing
+  continues, so a corrupt trace degrades to "every decodable record,
+  plus an audit of what was skipped" instead of an exception.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 
+from repro.resilience.errors import (
+    MalformedHeaderError,
+    MalformedRecordError,
+    OutOfOrderRecordError,
+    TraceDecodeError,
+    TraceParseError,
+    UnknownRecordKindError,
+)
+from repro.resilience.ingest import ParseReport
 from repro.traces.log import SignalingTrace, TraceMetadata
 from repro.traces.records import (
     CellMeasurement,
@@ -32,9 +52,13 @@ from repro.traces.records import (
     _decode_optional_identity,
 )
 
-
-class TraceParseError(ValueError):
-    """Raised on malformed trace input."""
+__all__ = [
+    "ParseResult",
+    "TraceParseError",
+    "parse_jsonl",
+    "parse_record",
+    "parse_trace",
+]
 
 
 def _parse_sys_info(t: float, data: dict) -> Record:
@@ -125,35 +149,107 @@ _PARSERS = {
 }
 
 
-def parse_record(data: dict) -> Record:
-    """Parse one decoded JSON object into a typed record."""
+def record_kinds() -> tuple[str, ...]:
+    """All record kinds the parser knows (fault-injection test surface)."""
+    return tuple(_PARSERS)
+
+
+def parse_record(data: dict, *, line_number: int | None = None) -> Record:
+    """Parse one decoded JSON object into a typed record.
+
+    All malformed input — missing keys, wrong types, undecodable nested
+    structures — surfaces as a :class:`TraceParseError` subclass tagged
+    with ``line_number`` and the record kind, never as a bare
+    ``KeyError``/``TypeError``/``ValueError`` from a decoder.
+    """
+    kind = data.get("kind") if isinstance(data, dict) else None
+    kind_label = kind if isinstance(kind, str) else "?"
     try:
-        kind = data["kind"]
         time_s = float(data["t"])
+        if kind is None:
+            raise KeyError("kind")
     except (KeyError, TypeError, ValueError) as error:
-        raise TraceParseError(f"record missing kind/time: {data!r}") from error
+        raise MalformedRecordError(f"record missing kind/time: {data!r}",
+                                   line_number=line_number,
+                                   record_kind=kind_label) from error
     parser = _PARSERS.get(kind)
     if parser is None:
-        raise TraceParseError(f"unknown record kind {kind!r}")
+        raise UnknownRecordKindError(f"unknown record kind {kind!r}",
+                                     line_number=line_number,
+                                     record_kind=kind_label)
     try:
         return parser(time_s, data)
-    except (KeyError, TypeError, ValueError) as error:
-        raise TraceParseError(f"malformed {kind} record: {data!r}") from error
+    except (KeyError, TypeError, ValueError, IndexError) as error:
+        raise MalformedRecordError(f"malformed {kind} record: {data!r}",
+                                   line_number=line_number,
+                                   record_kind=kind_label) from error
 
 
-def parse_jsonl(text: str) -> SignalingTrace:
-    """Parse a JSONL trace (metadata header + records) into a SignalingTrace."""
+@dataclass
+class ParseResult:
+    """A parsed trace plus the ingestion accounting that produced it."""
+
+    trace: SignalingTrace
+    report: ParseReport
+
+
+def _ingest_line(trace: SignalingTrace, report: ParseReport, stripped: str,
+                 line_number: int) -> None:
+    """Decode and apply one JSONL line, raising typed errors on failure."""
+    try:
+        data = json.loads(stripped)
+    except json.JSONDecodeError as error:
+        raise TraceDecodeError("invalid JSON", line_number=line_number,
+                               record_kind="json") from error
+    if not isinstance(data, dict):
+        raise TraceDecodeError("expected a JSON object",
+                               line_number=line_number, record_kind="json")
+    if "meta" in data:
+        try:
+            trace.metadata = TraceMetadata.from_dict(data["meta"])
+        except (AttributeError, KeyError, TypeError, ValueError) as error:
+            raise MalformedHeaderError(f"malformed meta header: {error}",
+                                       line_number=line_number,
+                                       record_kind="meta") from error
+        report.header_parsed = True
+        return
+    record = parse_record(data, line_number=line_number)
+    try:
+        trace.append(record)
+    except ValueError as error:
+        raise OutOfOrderRecordError(str(error), line_number=line_number,
+                                    record_kind=record.kind) from error
+    report.record_success()
+
+
+def parse_trace(text: str, errors: str = "strict") -> ParseResult:
+    """Parse a JSONL trace into a :class:`ParseResult`.
+
+    ``errors="strict"`` raises on the first malformed line;
+    ``errors="recover"`` quarantines malformed lines into the report and
+    keeps every record that decodes cleanly (records arriving out of
+    time order are quarantined too, preserving the trace invariant).
+    """
+    if errors not in ("strict", "recover"):
+        raise ValueError(f'errors must be "strict" or "recover", '
+                         f'got {errors!r}')
     trace = SignalingTrace()
+    report = ParseReport()
     for line_number, line in enumerate(text.splitlines(), start=1):
+        report.total_lines += 1
         stripped = line.strip()
         if not stripped:
+            report.blank_lines += 1
             continue
         try:
-            data = json.loads(stripped)
-        except json.JSONDecodeError as error:
-            raise TraceParseError(f"line {line_number}: invalid JSON") from error
-        if "meta" in data:
-            trace.metadata = TraceMetadata.from_dict(data["meta"])
-            continue
-        trace.append(parse_record(data))
-    return trace
+            _ingest_line(trace, report, stripped, line_number)
+        except TraceParseError as error:
+            if errors == "strict":
+                raise
+            report.record_error(error, stripped)
+    return ParseResult(trace=trace, report=report)
+
+
+def parse_jsonl(text: str, errors: str = "strict") -> SignalingTrace:
+    """Parse a JSONL trace (metadata header + records) into a SignalingTrace."""
+    return parse_trace(text, errors=errors).trace
