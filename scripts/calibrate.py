@@ -5,7 +5,8 @@ from repro.campaign import CampaignConfig, CampaignRunner, operator
 from repro.core.loops import LoopKind
 
 ops = sys.argv[1:] or ["OP_T", "OP_A", "OP_V"]
-t0 = time.time()
+# Monotonic, not wall clock: immune to NTP steps, can't go negative.
+t0 = time.monotonic()
 for name in ops:
     cfg = CampaignConfig(a1_locations=10, a1_runs_per_location=4,
                          locations_per_area=8, runs_per_location=4, duration_s=300)
@@ -29,4 +30,4 @@ for name in ops:
             if p.off_speed_samples: perf_off.append(p.median_off_mbps)
     if perf_on:
         print(f"   speed: med_ON={np.median(perf_on):.1f} med_OFF={np.median(perf_off):.1f} Mbps")
-print("elapsed", round(time.time()-t0,1))
+print("elapsed", round(time.monotonic()-t0,1))

@@ -27,6 +27,7 @@ from repro.campaign.devices import device as device_by_name
 from repro.campaign.locations import sparse_locations
 from repro.campaign.operators import OperatorProfile, build_deployment
 from repro.core.pipeline import analyze_trace
+from repro.obs import Instrumentation, get_instrumentation, instrumented
 from repro.radio.deployment import AreaDeployment
 from repro.radio.geometry import Point
 from repro.resilience.checkpoint import CampaignCheckpoint, CheckpointEntry, RunKey
@@ -69,8 +70,13 @@ def run_once(
         rate_model=profile.rate_model,
         point_provider=point_provider,
     )
-    trace = simulate_run(deployment.environment, profile.policy, device,
-                         point, config)
+    obs = get_instrumentation()
+    with obs.tracer.span("simulate", operator=profile.name,
+                         area=deployment.area.name, location=location_name,
+                         seed=metadata.run_seed), \
+            obs.registry.timer("stage_seconds", stage="simulate"):
+        trace = simulate_run(deployment.environment, profile.policy, device,
+                             point, config)
     analysis = analyze_trace(trace)
     return RunResult(metadata=metadata, analysis=analysis,
                      trace=trace if keep_trace else None, point=point)
@@ -166,12 +172,22 @@ class CampaignRunner:
     a wrapper that injects run failures and trace corruption.  ``sleep``
     is the retry pacing function (``None`` records backoff without
     waiting, which simulations want).
+
+    ``obs`` is the observability bundle the campaign reports into: a
+    ``campaign`` → ``run`` → ``simulate``/``analyze`` span hierarchy,
+    scheduled/completed/quarantined/restored/retry counters that mirror
+    :meth:`CampaignResult.reconciles`, and per-run
+    :class:`~repro.obs.ProgressReporter` callbacks.  It defaults to the
+    ambient bundle (usually the no-op one), and is installed as the
+    active bundle for the whole run so the pipeline, parser and retry
+    instrumentation report into the same registry.
     """
 
     profiles: list[OperatorProfile]
     config: CampaignConfig = field(default_factory=CampaignConfig)
     run_fn: Callable[..., RunResult] | None = None
     sleep: Callable[[float], None] | None = None
+    obs: Instrumentation | None = None
 
     def schedule(self) -> Iterator[ScheduledRun]:
         """Every run this campaign will execute, in order."""
@@ -196,21 +212,43 @@ class CampaignRunner:
                             run_index=run_index)
 
     def run(self) -> CampaignResult:
+        obs = self.obs if self.obs is not None else get_instrumentation()
+        with instrumented(obs):
+            return self._run(obs)
+
+    def _run(self, obs: Instrumentation) -> CampaignResult:
         result = CampaignResult()
         checkpoint, restored = self._open_checkpoint()
         policy = self.config.retry_policy()
         run_fn = self.run_fn or run_once
         test_device = device_by_name(self.config.device_name)
-        for scheduled in self.schedule():
-            result.scheduled += 1
-            entry = restored.get(scheduled.key)
-            if entry is not None and entry.succeeded:
-                restored_run = self._restore(entry, scheduled.point)
-                if restored_run is not None:
-                    result.add(restored_run)
-                    continue
-            self._execute(scheduled, run_fn, test_device, policy,
-                          checkpoint, result)
+        schedule = list(self.schedule())
+        registry, progress = obs.registry, obs.progress
+        progress.campaign_started(len(schedule))
+        try:
+            with obs.tracer.span(
+                    "campaign", seed=self.config.seed,
+                    operators=",".join(p.name for p in self.profiles),
+                    scheduled=len(schedule)):
+                for scheduled in schedule:
+                    result.scheduled += 1
+                    registry.counter("campaign_runs_scheduled_total").inc()
+                    entry = restored.get(scheduled.key)
+                    if entry is not None and entry.succeeded:
+                        restored_run = self._restore_span(entry, scheduled,
+                                                          obs)
+                        if restored_run is not None:
+                            result.add(restored_run)
+                            registry.counter(
+                                "campaign_runs_completed_total").inc()
+                            registry.counter(
+                                "campaign_runs_restored_total").inc()
+                            progress.run_restored(scheduled.key)
+                            continue
+                    self._execute(scheduled, run_fn, test_device, policy,
+                                  checkpoint, result, obs)
+        finally:
+            progress.campaign_finished()
         return result
 
     # ------------------------------------------------------------------
@@ -230,34 +268,66 @@ class CampaignRunner:
 
     def _execute(self, scheduled: ScheduledRun, run_fn, test_device,
                  policy: RetryPolicy, checkpoint: CampaignCheckpoint | None,
-                 result: CampaignResult) -> None:
+                 result: CampaignResult, obs: Instrumentation) -> None:
         """One run through the retry loop: add, checkpoint or quarantine."""
         keep_trace = self.config.keep_traces or checkpoint is not None
-        outcome = execute_with_retry(
-            lambda: run_fn(scheduled.deployment, scheduled.profile,
-                           test_device, scheduled.point,
-                           scheduled.location_name, scheduled.run_index,
-                           duration_s=self.config.duration_s,
-                           keep_trace=keep_trace),
-            policy, key=scheduled.key, sleep=self.sleep)
-        if not outcome.succeeded:
-            error = outcome.error
-            quarantined = QuarantinedRun(
-                *scheduled.key,
-                error=f"{type(error).__name__}: {error}",
-                attempts=outcome.attempts)
-            result.quarantine(quarantined)
-            if checkpoint is not None:
-                checkpoint.record_failure(scheduled.key, quarantined.error,
-                                          outcome.attempts)
-            return
-        run_result: RunResult = outcome.value
-        if checkpoint is not None and run_result.trace is not None:
-            checkpoint.record_success(scheduled.key,
-                                      run_result.trace.to_jsonl())
-        if not self.config.keep_traces:
-            run_result.trace = None
-        result.add(run_result)
+        registry, progress = obs.registry, obs.progress
+        with obs.tracer.span("run", operator=scheduled.profile.name,
+                             area=scheduled.deployment.area.name,
+                             location=scheduled.location_name,
+                             run_index=scheduled.run_index) as span:
+            outcome = execute_with_retry(
+                lambda: run_fn(scheduled.deployment, scheduled.profile,
+                               test_device, scheduled.point,
+                               scheduled.location_name, scheduled.run_index,
+                               duration_s=self.config.duration_s,
+                               keep_trace=keep_trace),
+                policy, key=scheduled.key, sleep=self.sleep)
+            span.set_attribute("attempts", outcome.attempts)
+            retries = outcome.attempts - 1
+            if retries:
+                registry.counter("campaign_run_retries_total").inc(retries)
+                registry.counter("campaign_runs_retried_total").inc()
+                progress.run_retried(scheduled.key, retries)
+            if not outcome.succeeded:
+                error = outcome.error
+                quarantined = QuarantinedRun(
+                    *scheduled.key,
+                    error=f"{type(error).__name__}: {error}",
+                    attempts=outcome.attempts)
+                result.quarantine(quarantined)
+                registry.counter("campaign_runs_quarantined_total").inc()
+                progress.run_quarantined(scheduled.key)
+                span.set_attribute("outcome", "quarantined")
+                if checkpoint is not None:
+                    checkpoint.record_failure(scheduled.key,
+                                              quarantined.error,
+                                              outcome.attempts)
+                return
+            run_result: RunResult = outcome.value
+            if checkpoint is not None and run_result.trace is not None:
+                checkpoint.record_success(scheduled.key,
+                                          run_result.trace.to_jsonl())
+            if not self.config.keep_traces:
+                run_result.trace = None
+            result.add(run_result)
+            registry.counter("campaign_runs_completed_total").inc()
+            progress.run_completed(scheduled.key)
+            span.set_attribute("outcome", "completed")
+
+    def _restore_span(self, entry: CheckpointEntry, scheduled: ScheduledRun,
+                      obs: Instrumentation) -> RunResult | None:
+        """Checkpoint restoration wrapped in its own ``run`` span."""
+        with obs.tracer.span("run", operator=scheduled.profile.name,
+                             area=scheduled.deployment.area.name,
+                             location=scheduled.location_name,
+                             run_index=scheduled.run_index,
+                             restored=True) as span:
+            restored_run = self._restore(entry, scheduled.point)
+            span.set_attribute(
+                "outcome", "restored" if restored_run is not None
+                else "restore_failed")
+        return restored_run
 
     def _restore(self, entry: CheckpointEntry,
                  point: Point) -> RunResult | None:

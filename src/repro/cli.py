@@ -1,11 +1,16 @@
 """Command-line interface.
 
-Four subcommands mirror the reproduction's main workflows::
+Five subcommands mirror the reproduction's main workflows::
 
     python -m repro campaign --operator OP_T --areas A1 --locations 6 --runs 3
         Run a scaled measurement campaign and print the summary report.
         Supports per-run retries (--max-retries), checkpointing
         (--checkpoint) and resuming an interrupted campaign (--resume).
+        Observability: ``--metrics-out metrics.json`` (or ``.prom`` for
+        Prometheus text), ``--trace-out spans.jsonl`` and ``--progress``
+        (live stderr status line); on Ctrl-C a final metrics/progress
+        snapshot is flushed before the resume hint, so interrupted
+        campaigns stay accountable.
 
     python -m repro analyze trace.jsonl [--errors recover]
         Analyse a saved signaling trace (loop detection, classification,
@@ -20,6 +25,11 @@ Four subcommands mirror the reproduction's main workflows::
         Deterministically corrupt a saved trace (the field-capture fault
         model: truncation, drops, duplicates, reordering, mangling) and
         optionally verify that recover-mode ingestion absorbs it.
+
+    python -m repro profile --seed 42
+        Run a seeded, instrumented mini-campaign and print the
+        per-stage timing table plus the metrics reconciliation check
+        (exit code 1 when the telemetry does not reconcile).
 """
 
 from __future__ import annotations
@@ -40,6 +50,13 @@ from repro.campaign import (
 from repro.campaign.locations import sparse_locations
 from repro.campaign.runner import run_once
 from repro.core.pipeline import analyze_trace
+from repro.obs import (
+    Instrumentation,
+    NULL_INSTRUMENTATION,
+    StderrProgressReporter,
+    make_instrumentation,
+)
+from repro.obs.profile import run_profile
 from repro.resilience.faults import FAULT_KINDS, FaultInjector
 from repro.traces.parser import TraceParseError, parse_trace
 
@@ -68,6 +85,21 @@ def _add_campaign_parser(subparsers) -> None:
     parser.add_argument("--resume", action="store_true",
                         help="resume completed runs from --checkpoint "
                              "instead of re-simulating them")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (locations, retry jitter; "
+                             "default 0)")
+    _add_observability_flags(parser)
+
+
+def _add_observability_flags(parser) -> None:
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the metrics snapshot here (JSON, or "
+                             "Prometheus text for .prom/.txt paths)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write the span tree here (JSONL, one span "
+                             "per line)")
+    parser.add_argument("--progress", action="store_true",
+                        help="live progress (rate/ETA/tallies) on stderr")
 
 
 def _add_analyze_parser(subparsers) -> None:
@@ -117,6 +149,32 @@ def _add_faults_parser(subparsers) -> None:
                              "and print the ingestion report")
 
 
+def _add_profile_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "profile", help="run a seeded instrumented mini-campaign and "
+                        "print the per-stage timing table")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="campaign seed (default 42)")
+    parser.add_argument("--operator", action="append", dest="operators",
+                        choices=sorted(OPERATORS),
+                        help="operator(s) to include (default: all)")
+    parser.add_argument("--areas", nargs="*", default=None,
+                        help="restrict to these areas (default: all)")
+    parser.add_argument("--locations", type=int, default=2,
+                        help="locations per area (default 2)")
+    parser.add_argument("--runs", type=int, default=2,
+                        help="runs per location (default 2)")
+    parser.add_argument("--duration", type=int, default=60,
+                        help="run duration in seconds (default 60)")
+    parser.add_argument("--max-retries", type=int, default=0,
+                        help="retries per failed run (default 0)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="also write the metrics snapshot here (JSON, "
+                             "or Prometheus text for .prom/.txt paths)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="also write the span tree here (JSONL)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -127,7 +185,50 @@ def build_parser() -> argparse.ArgumentParser:
     _add_analyze_parser(subparsers)
     _add_simulate_parser(subparsers)
     _add_faults_parser(subparsers)
+    _add_profile_parser(subparsers)
     return parser
+
+
+# ----------------------------------------------------------------------
+# Observability plumbing shared by campaign/profile
+# ----------------------------------------------------------------------
+
+
+def _build_instrumentation(args: argparse.Namespace) -> Instrumentation:
+    """A live bundle when any observability flag is set, else the no-op."""
+    wants_progress = getattr(args, "progress", False)
+    if not (args.metrics_out or args.trace_out or wants_progress):
+        return NULL_INSTRUMENTATION
+    progress = StderrProgressReporter() if wants_progress else None
+    return make_instrumentation(progress=progress)
+
+
+def _flush_observability(obs: Instrumentation,
+                         args: argparse.Namespace) -> None:
+    """Write the requested metrics/span exports (also on interrupt)."""
+    if not obs.enabled:
+        return
+    if args.metrics_out:
+        if args.metrics_out.endswith((".prom", ".txt")):
+            obs.registry.export_prometheus(args.metrics_out)
+        else:
+            obs.registry.export_json(args.metrics_out)
+        print(f"wrote metrics snapshot to {args.metrics_out}",
+              file=sys.stderr)
+    if args.trace_out:
+        obs.tracer.export_jsonl(args.trace_out)
+        print(f"wrote {len(obs.tracer.finished)} spans to {args.trace_out}",
+              file=sys.stderr)
+
+
+def _final_progress_snapshot(obs: Instrumentation) -> None:
+    snapshot = obs.progress.snapshot()
+    if snapshot:
+        print("progress snapshot: "
+              + " ".join(f"{key}={value:g}" if isinstance(value, float)
+                         else f"{key}={value}"
+                         for key, value in snapshot.items()),
+              file=sys.stderr)
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -141,13 +242,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         runs_per_location=args.runs,
         a1_runs_per_location=args.runs,
         area_names=args.areas,
+        seed=args.seed,
         max_retries=args.max_retries,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
     )
+    obs = _build_instrumentation(args)
     try:
-        result = CampaignRunner(profiles, config).run()
+        result = CampaignRunner(profiles, config, obs=obs).run()
     except KeyboardInterrupt:
+        # Flush what the interrupted campaign did accomplish *before*
+        # the resume hint, so partial runs are accountable.
+        _flush_observability(obs, args)
+        _final_progress_snapshot(obs)
         if args.checkpoint:
             print(f"interrupted; resume with --checkpoint {args.checkpoint} "
                   f"--resume", file=sys.stderr)
@@ -155,6 +262,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print("interrupted (no checkpoint; rerun with --checkpoint to "
                   "make campaigns resumable)", file=sys.stderr)
         return 130
+    _flush_observability(obs, args)
     print(campaign_report(result))
     return 0
 
@@ -222,11 +330,31 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    report = run_profile(
+        seed=args.seed,
+        operator_names=args.operators,
+        area_names=args.areas,
+        locations=args.locations,
+        runs=args.runs,
+        duration_s=args.duration,
+        max_retries=args.max_retries,
+    )
+    _flush_observability(report.obs, args)
+    print(report.summary())
+    if not report.reconciles():
+        print("error: metrics reconciliation failed "
+              "(scheduled != completed + quarantined)", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "campaign": _cmd_campaign,
     "analyze": _cmd_analyze,
     "simulate": _cmd_simulate,
     "faults": _cmd_faults,
+    "profile": _cmd_profile,
 }
 
 

@@ -23,6 +23,7 @@ from repro.core.metrics import (
     run_performance,
     scg_measurement_delays,
 )
+from repro.obs import get_instrumentation
 from repro.traces.log import SignalingTrace, TraceMetadata
 from repro.traces.records import (
     MeasurementReportRecord,
@@ -119,38 +120,61 @@ def _collect_measurement_stats(trace: SignalingTrace,
 
 
 def analyze_trace(trace: SignalingTrace) -> RunAnalysis:
-    """Run the full analysis pipeline on one signaling trace."""
-    records = trace.signaling_records()
-    end_time = trace.records[-1].time_s if trace.records else 0.0
-    intervals = extract_cellset_sequence(records, end_time_s=end_time)
-    detection = detect_loop(intervals)
-    if detection.is_loop:
-        subtype, transitions = classify_loop(records, intervals)
-    else:
-        subtype, transitions = LoopSubtype.UNKNOWN, []
-    cycles = loop_cycles(intervals) if detection.is_loop else []
-    performance = run_performance(intervals, trace.throughput_series())
+    """Run the full analysis pipeline on one signaling trace.
 
-    analysis = RunAnalysis(
-        metadata=trace.metadata,
-        intervals=intervals,
-        detection=detection,
-        subtype=subtype,
-        transitions=transitions,
-        cycles=cycles,
-        performance=performance,
-        scg_meas_delays=scg_measurement_delays(records),
-        scell_mods=_scell_modification_outcomes(trace),
-        duration_s=trace.duration_s,
-        n_cs_samples=len(intervals),
-    )
-    for interval in intervals:
-        analysis.unique_cellsets.add(interval.cellset)
-        for cell in interval.cellset.all_cells():
-            analysis.observed_cells.add(cell)
-            if cell.rat is Rat.NR:
-                analysis.serving_nr_channels.add(cell.channel)
+    Each stage reports a ``stage_seconds`` timer and a span into the
+    active instrumentation (see :mod:`repro.obs`); with the default
+    no-op bundle these are empty calls and the stage structure is
+    unchanged.
+    """
+    obs = get_instrumentation()
+    registry = obs.registry
+    with obs.tracer.span("analyze", operator=trace.metadata.operator,
+                         area=trace.metadata.area,
+                         location=trace.metadata.location):
+        records = trace.signaling_records()
+        end_time = trace.records[-1].time_s if trace.records else 0.0
+        with registry.timer("stage_seconds", stage="extract_cellsets"):
+            intervals = extract_cellset_sequence(records, end_time_s=end_time)
+        with registry.timer("stage_seconds", stage="detect_loop"):
+            detection = detect_loop(intervals)
+        with registry.timer("stage_seconds", stage="classify"):
+            if detection.is_loop:
+                subtype, transitions = classify_loop(records, intervals)
             else:
-                analysis.serving_lte_channels.add(cell.channel)
-    _collect_measurement_stats(trace, analysis)
+                subtype, transitions = LoopSubtype.UNKNOWN, []
+        with registry.timer("stage_seconds", stage="loop_metrics"):
+            cycles = loop_cycles(intervals) if detection.is_loop else []
+            performance = run_performance(intervals,
+                                          trace.throughput_series())
+
+        analysis = RunAnalysis(
+            metadata=trace.metadata,
+            intervals=intervals,
+            detection=detection,
+            subtype=subtype,
+            transitions=transitions,
+            cycles=cycles,
+            performance=performance,
+            scg_meas_delays=scg_measurement_delays(records),
+            scell_mods=_scell_modification_outcomes(trace),
+            duration_s=trace.duration_s,
+            n_cs_samples=len(intervals),
+        )
+        with registry.timer("stage_seconds", stage="collect_stats"):
+            for interval in intervals:
+                analysis.unique_cellsets.add(interval.cellset)
+                for cell in interval.cellset.all_cells():
+                    analysis.observed_cells.add(cell)
+                    if cell.rat is Rat.NR:
+                        analysis.serving_nr_channels.add(cell.channel)
+                    else:
+                        analysis.serving_lte_channels.add(cell.channel)
+            _collect_measurement_stats(trace, analysis)
+        registry.counter("pipeline_runs_analyzed_total").inc()
+        if detection.is_loop:
+            registry.counter("pipeline_loops_detected_total").inc(
+                kind=detection.kind.value)
+            registry.counter("pipeline_loop_subtype_total").inc(
+                subtype=subtype.value)
     return analysis

@@ -1,0 +1,79 @@
+"""Observability: metrics registry, tracing spans, campaign telemetry.
+
+Dependency-free instrumentation for the simulate→parse→analyze
+pipeline.  Three layers, all zero-cost when disabled (the default):
+
+* :mod:`repro.obs.metrics` — labeled ``Counter`` / ``Gauge`` /
+  ``Histogram`` / ``Timer`` in a :class:`MetricsRegistry` with
+  snapshot/reset semantics and JSON + Prometheus-text exporters.
+* :mod:`repro.obs.tracing` — hierarchical spans
+  (``campaign`` → ``run`` → ``simulate``/``parse``/``analyze``) on a
+  monotonic clock, collected in memory and exported as JSONL.
+* :mod:`repro.obs.progress` — a :class:`ProgressReporter` protocol
+  (rate, ETA, completed/quarantined/retried tallies) the campaign
+  runner drives.
+
+:mod:`repro.obs.context` binds them: hot paths read the active
+:class:`Instrumentation` bundle via :func:`get_instrumentation`;
+everything defaults to shared no-op singletons.  ``repro.obs.profile``
+(imported explicitly, not re-exported here) builds the ``repro
+profile`` subcommand on top.
+"""
+
+from repro.obs.context import (
+    Instrumentation,
+    NULL_INSTRUMENTATION,
+    get_instrumentation,
+    instrumented,
+    make_instrumentation,
+)
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_TIME_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    Timer,
+)
+from repro.obs.progress import (
+    NULL_PROGRESS,
+    NullProgressReporter,
+    ProgressReporter,
+    StderrProgressReporter,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    parse_spans_jsonl,
+    verify_span_tree,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "NULL_INSTRUMENTATION",
+    "NULL_PROGRESS",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullProgressReporter",
+    "NullRegistry",
+    "NullTracer",
+    "ProgressReporter",
+    "Span",
+    "StderrProgressReporter",
+    "Timer",
+    "Tracer",
+    "get_instrumentation",
+    "instrumented",
+    "make_instrumentation",
+    "parse_spans_jsonl",
+    "verify_span_tree",
+]

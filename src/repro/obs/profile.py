@@ -1,0 +1,130 @@
+"""The ``repro profile`` workload: a seeded, instrumented mini-campaign.
+
+Runs a small campaign with a live :class:`~repro.obs.Instrumentation`
+bundle, then renders a per-stage timing table out of the
+``stage_seconds`` histogram and checks that the campaign counters
+reconcile (``scheduled == completed + quarantined``) — the same
+invariant :meth:`CampaignResult.reconciles` enforces, but read back
+from the metrics export, so CI can gate on the telemetry itself.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.obs.context import Instrumentation, make_instrumentation
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "ProfileReport",
+    "metrics_reconcile",
+    "run_profile",
+    "stage_table",
+]
+
+#: Display order is by total time, but these names anchor the table's
+#: stage universe so an empty stage still renders as a zero row.
+KNOWN_STAGES = ("simulate", "parse", "extract_cellsets", "detect_loop",
+                "classify", "loop_metrics", "collect_stats")
+
+
+def metrics_reconcile(registry: MetricsRegistry) -> bool:
+    """Does the telemetry account for every scheduled run?"""
+    scheduled = registry.counter("campaign_runs_scheduled_total").total()
+    completed = registry.counter("campaign_runs_completed_total").total()
+    quarantined = registry.counter("campaign_runs_quarantined_total").total()
+    return scheduled == completed + quarantined
+
+
+def stage_table(registry: MetricsRegistry) -> str:
+    """Render the ``stage_seconds`` histogram as a per-stage table."""
+    histogram = registry.histogram("stage_seconds")
+    rows: list[tuple[str, int, float]] = []
+    seen: set[str] = set()
+    for key in histogram.series:
+        stage = key.removeprefix("stage=")
+        seen.add(stage)
+        rows.append((stage, histogram.count(stage=stage),
+                     histogram.sum(stage=stage)))
+    for stage in KNOWN_STAGES:
+        if stage not in seen:
+            rows.append((stage, 0, 0.0))
+    rows.sort(key=lambda row: (-row[2], row[0]))
+    grand_total = sum(row[2] for row in rows) or 1.0
+
+    lines = [f"{'stage':<18} {'calls':>7} {'total(s)':>10} "
+             f"{'mean(ms)':>10} {'share':>7}"]
+    for stage, calls, total in rows:
+        mean_ms = 1000.0 * total / calls if calls else 0.0
+        lines.append(f"{stage:<18} {calls:>7d} {total:>10.4f} "
+                     f"{mean_ms:>10.3f} {100.0 * total / grand_total:>6.1f}%")
+    return "\n".join(lines)
+
+
+@dataclass
+class ProfileReport:
+    """Everything ``repro profile`` produced."""
+
+    obs: Instrumentation
+    result: "CampaignResult"  # noqa: F821 - campaign import is lazy
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self.obs.registry
+
+    def reconciles(self) -> bool:
+        return metrics_reconcile(self.registry) and self.result.reconciles()
+
+    def summary(self) -> str:
+        registry = self.registry
+        scheduled = registry.counter("campaign_runs_scheduled_total").total()
+        completed = registry.counter("campaign_runs_completed_total").total()
+        quarantined = registry.counter(
+            "campaign_runs_quarantined_total").total()
+        retries = registry.counter("campaign_run_retries_total").total()
+        loops = registry.counter("pipeline_loops_detected_total").total()
+        lines = [
+            f"runs: {scheduled:g} scheduled, {completed:g} completed, "
+            f"{quarantined:g} quarantined, {retries:g} retries",
+            f"loops detected: {loops:g}",
+            "",
+            stage_table(registry),
+            "",
+            "metrics reconciliation: "
+            + ("ok" if self.reconciles() else "FAILED"),
+        ]
+        return "\n".join(lines)
+
+
+def run_profile(seed: int = 42,
+                operator_names: list[str] | None = None,
+                area_names: list[str] | None = None,
+                locations: int = 2,
+                runs: int = 2,
+                duration_s: int = 60,
+                device_name: str = "OnePlus 12R",
+                max_retries: int = 0,
+                clock: Callable[[], float] = time.monotonic,
+                ) -> ProfileReport:
+    """Run the instrumented mini-campaign behind ``repro profile``."""
+    from repro.campaign.operators import OPERATORS, operator
+    from repro.campaign.runner import CampaignConfig, CampaignRunner
+
+    names = operator_names or sorted(OPERATORS)
+    profiles = [operator(name) for name in names]
+    config = CampaignConfig(
+        device_name=device_name,
+        duration_s=duration_s,
+        locations_per_area=locations,
+        a1_locations=locations,
+        runs_per_location=runs,
+        a1_runs_per_location=runs,
+        area_names=area_names,
+        seed=seed,
+        max_retries=max_retries,
+    )
+    obs = make_instrumentation(clock=clock)
+    result = CampaignRunner(profiles, config, obs=obs).run()
+    return ProfileReport(obs=obs, result=result)

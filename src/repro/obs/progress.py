@@ -1,0 +1,170 @@
+"""Campaign progress reporting: rate, ETA and per-outcome tallies.
+
+:class:`ProgressReporter` is the protocol :class:`CampaignRunner`
+drives — one call per scheduled-run outcome (completed, quarantined,
+restored) plus retry notifications — so a months-long campaign is
+accountable while it runs, not only after.  The default is the inert
+:data:`NULL_PROGRESS`; the CLI's ``--progress`` flag swaps in
+:class:`StderrProgressReporter`, which redraws a single status line::
+
+    [  42/120]  35.0%  ok=40 quarantined=2 restored=0 retries=3  2.1 run/s eta 37s
+
+Rates come from the injectable monotonic clock, so tests drive the
+reporter with a fake clock and assert exact output.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, TextIO
+
+__all__ = [
+    "NULL_PROGRESS",
+    "NullProgressReporter",
+    "ProgressReporter",
+    "StderrProgressReporter",
+]
+
+
+class ProgressReporter:
+    """The protocol the campaign runner drives (base class is a no-op).
+
+    ``key`` arguments are run keys: ``(operator, area, location,
+    run_index)`` tuples.
+    """
+
+    def campaign_started(self, total_runs: int) -> None:
+        return None
+
+    def run_completed(self, key: tuple) -> None:
+        return None
+
+    def run_quarantined(self, key: tuple) -> None:
+        return None
+
+    def run_restored(self, key: tuple) -> None:
+        return None
+
+    def run_retried(self, key: tuple, retries: int) -> None:
+        return None
+
+    def campaign_finished(self) -> None:
+        return None
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+class NullProgressReporter(ProgressReporter):
+    """Explicitly-named disabled reporter (the default)."""
+
+    enabled = False
+
+
+class StderrProgressReporter(ProgressReporter):
+    """Single-line live progress on a stream (stderr by default)."""
+
+    enabled = True
+
+    def __init__(self, stream: TextIO | None = None,
+                 clock: Callable[[], float] = time.monotonic):
+        self.stream = stream if stream is not None else sys.stderr
+        self.clock = clock
+        self.total = 0
+        self.completed = 0
+        self.quarantined = 0
+        self.restored = 0
+        self.retries = 0
+        self._start_s: float | None = None
+        self._finished = False
+
+    # -- runner callbacks ----------------------------------------------
+
+    def campaign_started(self, total_runs: int) -> None:
+        self.total = total_runs
+        self._start_s = self.clock()
+        self._finished = False
+        self._draw()
+
+    def run_completed(self, key: tuple) -> None:
+        self.completed += 1
+        self._draw()
+
+    def run_quarantined(self, key: tuple) -> None:
+        self.quarantined += 1
+        self._draw()
+
+    def run_restored(self, key: tuple) -> None:
+        self.completed += 1
+        self.restored += 1
+        self._draw()
+
+    def run_retried(self, key: tuple, retries: int) -> None:
+        self.retries += retries
+
+    def campaign_finished(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        self.stream.write("\r" + self.render() + "\n")
+        self.stream.flush()
+
+    # -- accounting ----------------------------------------------------
+
+    @property
+    def done(self) -> int:
+        """Runs with a final outcome (completed or quarantined)."""
+        return self.completed + self.quarantined
+
+    def elapsed_s(self) -> float:
+        if self._start_s is None:
+            return 0.0
+        return self.clock() - self._start_s
+
+    def rate_per_s(self) -> float:
+        elapsed = self.elapsed_s()
+        if elapsed <= 0.0:
+            return 0.0
+        return self.done / elapsed
+
+    def eta_s(self) -> float | None:
+        rate = self.rate_per_s()
+        if rate <= 0.0 or not self.total:
+            return None
+        return max(0, self.total - self.done) / rate
+
+    def snapshot(self) -> dict:
+        """Final-snapshot dict: what the CLI flushes on exit/interrupt."""
+        return {
+            "total": self.total,
+            "done": self.done,
+            "completed": self.completed,
+            "quarantined": self.quarantined,
+            "restored": self.restored,
+            "retries": self.retries,
+            "elapsed_s": self.elapsed_s(),
+            "rate_per_s": self.rate_per_s(),
+        }
+
+    def render(self) -> str:
+        percent = 100.0 * self.done / self.total if self.total else 0.0
+        width = len(str(self.total))
+        line = (f"[{self.done:{width}d}/{self.total}] {percent:5.1f}%  "
+                f"ok={self.completed} quarantined={self.quarantined} "
+                f"restored={self.restored} retries={self.retries}")
+        rate = self.rate_per_s()
+        if rate > 0.0:
+            line += f"  {rate:.1f} run/s"
+            eta = self.eta_s()
+            if eta is not None:
+                line += f" eta {eta:.0f}s"
+        return line
+
+    def _draw(self) -> None:
+        self.stream.write("\r" + self.render())
+        self.stream.flush()
+
+
+#: Shared disabled reporter (the process-wide default instrumentation).
+NULL_PROGRESS = NullProgressReporter()

@@ -107,6 +107,10 @@ class ChaosHarness:
         self._attempts: dict[RunKey, int] = defaultdict(int)
         self._completed = 0
 
+    def attempts_ledger(self) -> dict[RunKey, int]:
+        """How many times each run key was attempted (telemetry checks)."""
+        return dict(self._attempts)
+
     def run(self) -> ChaosReport:
         """Run the campaign; raises :class:`SimulatedInterrupt` only when
         the chaos config asked for one."""

@@ -19,6 +19,12 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs import get_instrumentation
+
+#: Bucket bounds for the attempts-per-run histogram (attempt counts are
+#: small integers, so unit-width buckets keep the distribution exact).
+ATTEMPT_BUCKETS: tuple[float, ...] = (1, 2, 3, 4, 5, 8, 13, 21)
+
 
 def _mix(*parts: object) -> int:
     return zlib.crc32("|".join(str(part) for part in parts).encode("utf-8"))
@@ -82,19 +88,25 @@ def execute_with_retry(fn: Callable[[], object], policy: RetryPolicy,
     (e.g. ``KeyboardInterrupt``) propagates so an operator can stop a
     campaign and later resume it from the checkpoint.
     """
+    registry = get_instrumentation().registry
     outcome = AttemptOutcome()
     for attempt in range(policy.max_retries + 1):
         outcome.attempts = attempt + 1
         try:
             outcome.value = fn()
             outcome.error = None
-            return outcome
+            break
         except Exception as error:  # noqa: BLE001 - per-run isolation
             outcome.error = error
             if attempt >= policy.max_retries:
                 break
             delay = policy.backoff_s(key, attempt)
             outcome.backoffs_s.append(delay)
+            registry.histogram("retry_backoff_seconds").observe(delay)
             if sleep is not None and delay > 0:
                 sleep(delay)
+    registry.histogram("retry_attempts",
+                       buckets=ATTEMPT_BUCKETS).observe(outcome.attempts)
+    if outcome.backoffs_s:
+        registry.counter("retry_retries_total").inc(len(outcome.backoffs_s))
     return outcome

@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
+from repro.obs import get_instrumentation
 from repro.resilience.errors import (
     MalformedHeaderError,
     MalformedRecordError,
@@ -235,19 +236,39 @@ def parse_trace(text: str, errors: str = "strict") -> ParseResult:
                          f'got {errors!r}')
     trace = SignalingTrace()
     report = ParseReport()
-    for line_number, line in enumerate(text.splitlines(), start=1):
-        report.total_lines += 1
-        stripped = line.strip()
-        if not stripped:
-            report.blank_lines += 1
-            continue
-        try:
-            _ingest_line(trace, report, stripped, line_number)
-        except TraceParseError as error:
-            if errors == "strict":
-                raise
-            report.record_error(error, stripped)
+    obs = get_instrumentation()
+    try:
+        with obs.tracer.span("parse", errors=errors), \
+                obs.registry.timer("stage_seconds", stage="parse"):
+            for line_number, line in enumerate(text.splitlines(), start=1):
+                report.total_lines += 1
+                stripped = line.strip()
+                if not stripped:
+                    report.blank_lines += 1
+                    continue
+                try:
+                    _ingest_line(trace, report, stripped, line_number)
+                except TraceParseError as error:
+                    if errors == "strict":
+                        raise
+                    report.record_error(error, stripped)
+    finally:
+        # Flush tallies even when strict mode raises mid-trace, so a
+        # failed ingestion is still accountable in the metrics export.
+        _flush_parse_metrics(obs, report)
     return ParseResult(trace=trace, report=report)
+
+
+def _flush_parse_metrics(obs, report: ParseReport) -> None:
+    """Report one ingestion's tallies into the metrics registry."""
+    if not obs.registry.enabled:
+        return
+    registry = obs.registry
+    registry.counter("trace_lines_total").inc(report.total_lines)
+    registry.counter("trace_records_parsed_total").inc(report.parsed_records)
+    for error_class in sorted(report.errors_by_class):
+        registry.counter("trace_records_skipped_total").inc(
+            report.errors_by_class[error_class], error=error_class)
 
 
 def parse_jsonl(text: str, errors: str = "strict") -> SignalingTrace:

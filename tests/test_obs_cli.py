@@ -1,0 +1,206 @@
+"""CLI observability: --metrics-out/--trace-out/--progress, profile,
+SIGINT snapshot flush.
+
+Carries the acceptance checks: a seeded mini-campaign's metrics JSON
+reconciles with non-zero stage timers, the spans JSONL passes the
+structural integrity check, and identical seeds produce identical
+counters.
+"""
+
+import json
+
+import pytest
+
+import repro.cli as cli
+from repro.cli import build_parser, main
+from repro.obs import parse_spans_jsonl, verify_span_tree
+
+CAMPAIGN_ARGV = ["campaign", "--operator", "OP_V", "--areas", "A9",
+                 "--locations", "2", "--runs", "2", "--duration", "60",
+                 "--seed", "7"]
+
+
+@pytest.fixture(scope="module")
+def campaign_outputs(tmp_path_factory):
+    """One instrumented CLI campaign shared by the acceptance checks."""
+    directory = tmp_path_factory.mktemp("obs")
+    metrics = directory / "m.json"
+    spans = directory / "s.jsonl"
+    code = main(CAMPAIGN_ARGV + ["--metrics-out", str(metrics),
+                                 "--trace-out", str(spans)])
+    assert code == 0
+    return metrics, spans
+
+
+class TestCampaignMetricsOut:
+    def test_metrics_json_reconciles(self, campaign_outputs):
+        metrics, _ = campaign_outputs
+        data = json.loads(metrics.read_text())
+        counters = data["counters"]
+        scheduled = sum(
+            counters["campaign_runs_scheduled_total"].values())
+        completed = sum(
+            counters["campaign_runs_completed_total"].values())
+        quarantined = sum(
+            counters.get("campaign_runs_quarantined_total", {}).values())
+        assert scheduled == 4
+        assert scheduled == completed + quarantined
+
+    def test_per_stage_timers_non_zero(self, campaign_outputs):
+        metrics, _ = campaign_outputs
+        stages = json.loads(metrics.read_text())["histograms"][
+            "stage_seconds"]
+        for stage in ("simulate", "extract_cellsets", "detect_loop",
+                      "classify", "loop_metrics", "collect_stats"):
+            entry = stages[f"stage={stage}"]
+            assert entry["count"] == 4
+            assert entry["sum"] > 0.0
+
+    def test_spans_jsonl_structurally_sound(self, campaign_outputs):
+        _, spans_path = campaign_outputs
+        spans = parse_spans_jsonl(spans_path.read_text())
+        assert verify_span_tree(spans) == []
+        roots = [span for span in spans if span.parent_id is None]
+        assert [root.name for root in roots] == ["campaign"]
+        root = roots[0]
+        runs = [span for span in spans if span.parent_id == root.span_id]
+        assert len(runs) == 4
+        # Root outlives the (sequential, non-overlapping) children.
+        assert root.duration_s >= sum(span.duration_s for span in runs) - 1e-9
+
+    def test_identical_seeds_identical_counters(self, campaign_outputs,
+                                                tmp_path):
+        first, _ = campaign_outputs
+        second = tmp_path / "again.json"
+        assert main(CAMPAIGN_ARGV + ["--metrics-out", str(second)]) == 0
+        first_counters = json.loads(first.read_text())["counters"]
+        second_counters = json.loads(second.read_text())["counters"]
+        assert first_counters == second_counters
+
+    def test_prometheus_export_by_extension(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        argv = ["campaign", "--operator", "OP_V", "--areas", "A9",
+                "--locations", "1", "--runs", "1", "--duration", "60",
+                "--metrics-out", str(path)]
+        assert main(argv) == 0
+        text = path.read_text()
+        assert "# TYPE campaign_runs_scheduled_total counter" in text
+        assert "stage_seconds_bucket" in text
+
+    def test_progress_flag_writes_stderr(self, capsys):
+        argv = ["campaign", "--operator", "OP_V", "--areas", "A9",
+                "--locations", "1", "--runs", "1", "--duration", "60",
+                "--progress"]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "ok=1" in err
+        assert "[1/1]" in err
+
+    def test_no_flags_no_observability_files(self, tmp_path, capsys):
+        argv = ["campaign", "--operator", "OP_V", "--areas", "A9",
+                "--locations", "1", "--runs", "1", "--duration", "60"]
+        assert main(argv) == 0
+        assert "wrote metrics" not in capsys.readouterr().err
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestSigintFlush:
+    """Satellite: interrupted campaigns flush telemetry before the hint."""
+
+    class _InterruptingRunner:
+        def __init__(self, profiles, config, obs=None, **kwargs):
+            self.obs = obs
+
+        def run(self):
+            if self.obs is not None and self.obs.enabled:
+                self.obs.registry.counter(
+                    "campaign_runs_scheduled_total").inc(3)
+                self.obs.registry.counter(
+                    "campaign_runs_completed_total").inc(2)
+                with self.obs.tracer.span("campaign"):
+                    raise KeyboardInterrupt()
+            raise KeyboardInterrupt()
+
+    @pytest.fixture
+    def interrupting(self, monkeypatch):
+        monkeypatch.setattr(cli, "CampaignRunner",
+                            self._InterruptingRunner)
+
+    def test_flushes_metrics_and_spans_before_resume_hint(
+            self, interrupting, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        spans = tmp_path / "s.jsonl"
+        code = main(["campaign", "--checkpoint", str(tmp_path / "c.ckpt"),
+                     "--metrics-out", str(metrics),
+                     "--trace-out", str(spans)])
+        assert code == 130
+        data = json.loads(metrics.read_text())
+        assert sum(data["counters"]["campaign_runs_scheduled_total"]
+                   .values()) == 3
+        exported = parse_spans_jsonl(spans.read_text())
+        assert [span.name for span in exported] == ["campaign"]
+        assert exported[0].status == "error"
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        # The snapshot lands before the resume hint.
+        assert err.index("wrote metrics snapshot") \
+            < err.index("resume with --checkpoint")
+
+    def test_progress_snapshot_on_interrupt(self, interrupting, capsys):
+        code = main(["campaign", "--progress"])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "progress snapshot:" in err
+        assert err.index("progress snapshot:") < err.index("interrupted")
+
+    def test_uninstrumented_interrupt_keeps_plain_hint(self, interrupting,
+                                                       capsys):
+        code = main(["campaign"])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "wrote metrics" not in err
+
+
+class TestProfileCommand:
+    def test_profile_prints_stage_table_and_reconciles(self, capsys):
+        code = main(["profile", "--seed", "42", "--operator", "OP_V",
+                     "--areas", "A9", "--locations", "1", "--runs", "2",
+                     "--duration", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stage" in out and "calls" in out and "share" in out
+        assert "simulate" in out
+        assert "metrics reconciliation: ok" in out
+        assert "2 scheduled, 2 completed" in out
+
+    def test_profile_writes_outputs(self, tmp_path, capsys):
+        metrics = tmp_path / "profile.json"
+        spans = tmp_path / "profile.jsonl"
+        code = main(["profile", "--seed", "42", "--operator", "OP_V",
+                     "--areas", "A9", "--locations", "1", "--runs", "1",
+                     "--duration", "60", "--metrics-out", str(metrics),
+                     "--trace-out", str(spans)])
+        assert code == 0
+        data = json.loads(metrics.read_text())
+        assert sum(data["counters"]["campaign_runs_scheduled_total"]
+                   .values()) == 1
+        assert verify_span_tree(
+            parse_spans_jsonl(spans.read_text())) == []
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.seed == 42
+        assert args.locations == 2
+        assert args.runs == 2
+
+
+class TestCampaignParserFlags:
+    def test_parser_accepts_observability_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "--metrics-out", "m.json", "--trace-out",
+             "s.jsonl", "--progress", "--seed", "5"])
+        assert args.metrics_out == "m.json"
+        assert args.trace_out == "s.jsonl"
+        assert args.progress
+        assert args.seed == 5

@@ -1,0 +1,206 @@
+"""Metrics registry: instruments, labels, snapshot/reset, exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, NULL_REGISTRY, NullRegistry
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock for deterministic timing tests."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("runs_total")
+        assert counter.value() == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labeled_series_are_independent(self):
+        counter = MetricsRegistry().counter("loops_total")
+        counter.inc(kind="II-P")
+        counter.inc(kind="II-P")
+        counter.inc(kind="I")
+        assert counter.value(kind="II-P") == 2.0
+        assert counter.value(kind="I") == 1.0
+        assert counter.value(kind="II-SP") == 0.0
+        assert counter.total() == 3.0
+
+    def test_label_order_does_not_matter(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc(a=1, b=2)
+        counter.inc(b=2, a=1)
+        assert counter.value(a=1, b=2) == 2.0
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1.0)
+
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("in_flight")
+        gauge.set(5.0)
+        gauge.inc()
+        gauge.dec(2.0)
+        assert gauge.value() == 4.0
+
+
+class TestHistogram:
+    def test_bucketing_and_sum(self):
+        histogram = MetricsRegistry().histogram(
+            "h", buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 0.7, 3.0, 20.0):
+            histogram.observe(value)
+        assert histogram.count() == 4
+        assert histogram.sum() == pytest.approx(24.2)
+        snap = histogram.snapshot()[""]
+        assert snap["buckets"] == {"1.0": 2, "5.0": 1, "+Inf": 1}
+
+    def test_boundary_value_falls_in_its_bucket(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(1.0)  # le=1.0 bucket is inclusive
+        assert histogram.snapshot()[""]["buckets"] == {"1.0": 1}
+
+    def test_mean(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(10.0,))
+        assert histogram.mean() == 0.0
+        histogram.observe(2.0)
+        histogram.observe(4.0)
+        assert histogram.mean() == pytest.approx(3.0)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=(5.0, 1.0))
+
+
+class TestTimer:
+    def test_records_elapsed_from_injected_clock(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        with registry.timer("stage_seconds", stage="simulate"):
+            clock.advance(0.25)
+        histogram = registry.histogram("stage_seconds")
+        assert histogram.count(stage="simulate") == 1
+        assert histogram.sum(stage="simulate") == pytest.approx(0.25)
+
+    def test_reentrant_nesting(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        timer = registry.timer("t")
+        with timer:
+            clock.advance(1.0)
+            with timer:
+                clock.advance(0.5)
+        histogram = registry.histogram("t")
+        assert histogram.count() == 2
+        assert histogram.sum() == pytest.approx(2.0)  # 0.5 inner + 1.5 outer
+
+
+class TestRegistrySnapshot:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.counter("runs_total").inc(3, operator="OP_T")
+        registry.gauge("in_flight").set(1)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        return registry
+
+    def test_snapshot_is_json_able_and_sorted(self):
+        snapshot = self._populated().snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["counters"]["runs_total"] == {"operator=OP_T": 3.0}
+        assert snapshot["gauges"]["in_flight"] == {"": 1.0}
+        assert snapshot["histograms"]["h"][""]["count"] == 1
+
+    def test_reset_zeroes_without_forgetting(self):
+        registry = self._populated()
+        registry.reset()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["runs_total"] == {}
+        assert registry.counter("runs_total").value(operator="OP_T") == 0.0
+
+    def test_identical_operations_identical_snapshots(self):
+        assert self._populated().snapshot() == self._populated().snapshot()
+
+    def test_snapshot_is_a_copy(self):
+        registry = self._populated()
+        before = registry.snapshot()
+        registry.counter("runs_total").inc(operator="OP_T")
+        assert before["counters"]["runs_total"] == {"operator=OP_T": 3.0}
+
+
+class TestExporters:
+    def test_json_export_round_trip(self, tmp_path):
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.counter("c").inc(7)
+        path = tmp_path / "metrics.json"
+        registry.export_json(path)
+        data = json.loads(path.read_text())
+        assert data["counters"]["c"][""] == 7.0
+
+    def test_prometheus_text_format(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.counter("runs_total", help="runs").inc(2, operator="OP_T")
+        registry.histogram("lat", buckets=(1.0, 2.0)).observe(1.5)
+        text = registry.to_prometheus()
+        assert "# TYPE runs_total counter" in text
+        assert 'runs_total{operator="OP_T"} 2' in text
+        assert "# HELP runs_total runs" in text
+        assert 'lat_bucket{le="1"} 0' in text
+        assert 'lat_bucket{le="2"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_sum 1.5" in text
+        assert "lat_count 1" in text
+
+    def test_prometheus_cumulative_buckets(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        histogram = registry.histogram("h", buckets=(1.0, 2.0, 3.0))
+        for value in (0.5, 1.5, 2.5, 9.0):
+            histogram.observe(value)
+        lines = registry.to_prometheus().splitlines()
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines
+                  if line.startswith("h_bucket")]
+        assert counts == sorted(counts)  # cumulative by definition
+        assert counts[-1] == 4
+
+
+class TestNullRegistry:
+    def test_is_disabled_and_inert(self):
+        registry = NullRegistry()
+        assert not registry.enabled
+        registry.counter("c").inc(5)
+        registry.gauge("g").set(1)
+        registry.histogram("h").observe(2.0)
+        with registry.timer("t", stage="x"):
+            pass
+        assert registry.counter("c").value() == 0.0
+        assert registry.snapshot() == {"counters": {}, "gauges": {},
+                                       "histograms": {}}
+
+    def test_shared_singleton_exists(self):
+        assert not NULL_REGISTRY.enabled
