@@ -1,0 +1,53 @@
+"""Parallel campaign execution speedup benchmark.
+
+The process-pool engine must actually buy wall-clock time: on a 4+
+core machine a CPU-bound campaign at ``workers=4`` must finish at
+least 1.8x faster than the same campaign at ``workers=1`` — while
+producing bit-identical results (the equivalence tests in
+``tests/test_campaign_parallel.py`` enforce that part; here we only
+re-check the cheap invariants so a broken merge can't hide behind a
+fast wall clock).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.campaign import CampaignConfig, CampaignRunner, operator
+
+#: Heavy enough that pool startup (~100ms per worker) is noise next to
+#: the simulation work, light enough to keep the benchmark under a
+#: couple of minutes sequentially.
+BENCH_CONFIG = dict(area_names=["A2", "A5", "A9"], locations_per_area=4,
+                    runs_per_location=4, duration_s=600)
+
+
+def _timed_run(workers: int) -> tuple[float, "CampaignResult"]:
+    config = CampaignConfig(workers=workers, **BENCH_CONFIG)
+    runner = CampaignRunner([operator("OP_T"), operator("OP_V")], config)
+    start = time.perf_counter()
+    result = runner.run()
+    return time.perf_counter() - start, result
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="speedup benchmark needs a 4+ core machine")
+def test_four_workers_at_least_1_8x_faster():
+    sequential_s, sequential = _timed_run(workers=1)
+    parallel_s, parallel = _timed_run(workers=4)
+
+    assert parallel.scheduled == sequential.scheduled == 96
+    assert [run.metadata for run in parallel.runs] \
+        == [run.metadata for run in sequential.runs]
+    assert [run.analysis for run in parallel.runs] \
+        == [run.analysis for run in sequential.runs]
+
+    speedup = sequential_s / parallel_s
+    print(f"\nsequential {sequential_s:.2f}s, 4 workers {parallel_s:.2f}s, "
+          f"speedup {speedup:.2f}x")
+    assert speedup >= 1.8, (
+        f"workers=4 only {speedup:.2f}x faster "
+        f"({sequential_s:.2f}s -> {parallel_s:.2f}s)")

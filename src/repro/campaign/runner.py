@@ -13,11 +13,23 @@ retry policy, runs that fail permanently are quarantined into
 optional append-only JSONL checkpoint lets an interrupted campaign
 resume from the last completed run (completed runs are re-analysed from
 their checkpointed traces rather than re-simulated).
+
+Execution is also parallel on demand: runs are embarrassingly parallel
+(every run is seeded per key), so ``CampaignConfig.workers > 1`` fans
+the schedule out over a process pool.  Workers run the identical
+retry/quarantine path and ship back ``(result-or-quarantine, metrics
+snapshot, spans)`` payloads; the parent merges them **in schedule
+order**, so the ``CampaignResult``, checkpoint contents and every
+exported counter are bit-identical to sequential execution for the
+same seed.  Checkpoint appends and progress callbacks only ever happen
+in the parent process.
 """
 
 from __future__ import annotations
 
-import zlib
+import os
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterator
@@ -27,18 +39,22 @@ from repro.campaign.devices import device as device_by_name
 from repro.campaign.locations import sparse_locations
 from repro.campaign.operators import OperatorProfile, build_deployment
 from repro.core.pipeline import analyze_trace
-from repro.obs import Instrumentation, get_instrumentation, instrumented
+from repro.core.seeding import stable_seed as _run_seed
+from repro.obs import (
+    Instrumentation,
+    NULL_INSTRUMENTATION,
+    Span,
+    get_instrumentation,
+    instrumented,
+    make_instrumentation,
+)
 from repro.radio.deployment import AreaDeployment
 from repro.radio.geometry import Point
 from repro.resilience.checkpoint import CampaignCheckpoint, CheckpointEntry, RunKey
-from repro.resilience.retry import RetryPolicy, execute_with_retry
+from repro.resilience.retry import AttemptOutcome, RetryPolicy, execute_with_retry
 from repro.rrc.capabilities import DeviceCapabilities
 from repro.rrc.session import RunConfig, simulate_run
 from repro.traces.log import TraceMetadata
-
-
-def _run_seed(*parts: object) -> int:
-    return zlib.crc32("|".join(str(part) for part in parts).encode("utf-8"))
 
 
 def run_once(
@@ -124,6 +140,11 @@ class CampaignConfig:
     append-only JSONL checkpointing of every finished run, and
     ``resume=True`` restores completed runs from that checkpoint instead
     of re-simulating them (failed runs are always re-attempted).
+
+    ``workers`` fans run execution out over a process pool (``<= 1``
+    keeps the in-process path).  Parallel execution is bit-identical to
+    sequential for the same seed: results, checkpoint contents and
+    exported counters are merged in schedule order by the parent.
     """
 
     device_name: str = "OnePlus 12R"
@@ -139,6 +160,7 @@ class CampaignConfig:
     retry_backoff_s: float = 0.5
     checkpoint_path: str | Path | None = None
     resume: bool = False
+    workers: int = 1
 
     def locations_for(self, area_name: str) -> int:
         return self.a1_locations if area_name == "A1" else self.locations_per_area
@@ -162,6 +184,133 @@ class ScheduledRun:
     point: Point
     location_name: str
     run_index: int
+
+
+# ----------------------------------------------------------------------
+# Process-pool execution engine (CampaignConfig.workers > 1)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _WorkerTask:
+    """One run shipped to a pool worker (no deployment: rebuilt there)."""
+
+    key: RunKey
+    profile: OperatorProfile
+    area_name: str
+    point: Point
+    location_name: str
+    run_index: int
+    device_name: str
+    duration_s: int
+    keep_trace: bool
+    policy: RetryPolicy
+    instrument: bool
+
+
+@dataclass
+class _WorkerOutcome:
+    """What a pool worker ships back: payload + telemetry to merge."""
+
+    key: RunKey
+    run_result: RunResult | None
+    quarantined: QuarantinedRun | None
+    attempts: int
+    retries: int
+    metrics: dict | None
+    spans: list[dict]
+
+
+#: Per-worker-process deployment cache: deployments are deterministic
+#: functions of (operator, area), so rebuilding once per process is
+#: cheaper than pickling the full cell inventory into every task.
+_WORKER_DEPLOYMENTS: dict[tuple[str, str], AreaDeployment] = {}
+
+
+def _worker_deployment(profile: OperatorProfile,
+                       area_name: str) -> AreaDeployment:
+    key = (profile.name, area_name)
+    deployment = _WORKER_DEPLOYMENTS.get(key)
+    if deployment is None:
+        deployment = build_deployment(profile, area_name)
+        _WORKER_DEPLOYMENTS[key] = deployment
+    return deployment
+
+
+def _finish_outcome(outcome: AttemptOutcome, key: RunKey, span,
+                    registry) -> tuple[RunResult | None,
+                                       QuarantinedRun | None, int]:
+    """Shared post-retry accounting (sequential path and pool workers)."""
+    span.set_attribute("attempts", outcome.attempts)
+    retries = outcome.attempts - 1
+    if retries:
+        registry.counter("campaign_run_retries_total").inc(retries)
+        registry.counter("campaign_runs_retried_total").inc()
+    if not outcome.succeeded:
+        error = outcome.error
+        quarantined = QuarantinedRun(
+            *key, error=f"{type(error).__name__}: {error}",
+            attempts=outcome.attempts)
+        registry.counter("campaign_runs_quarantined_total").inc()
+        span.set_attribute("outcome", "quarantined")
+        return None, quarantined, retries
+    registry.counter("campaign_runs_completed_total").inc()
+    span.set_attribute("outcome", "completed")
+    return outcome.value, None, retries
+
+
+def _execute_worker_task(task: _WorkerTask) -> _WorkerOutcome:
+    """Pool-worker entry point: one run through the retry loop.
+
+    Mirrors ``CampaignRunner._execute`` exactly, except that
+    checkpointing, progress and result accounting stay with the parent:
+    the worker reports into a fresh local instrumentation bundle and
+    ships its snapshot back for an in-schedule-order merge.
+    """
+    obs = make_instrumentation() if task.instrument else NULL_INSTRUMENTATION
+    deployment = _worker_deployment(task.profile, task.area_name)
+    test_device = device_by_name(task.device_name)
+    with instrumented(obs):
+        with obs.tracer.span("run", operator=task.profile.name,
+                             area=task.area_name,
+                             location=task.location_name,
+                             run_index=task.run_index,
+                             worker_pid=os.getpid()) as span:
+            outcome = execute_with_retry(
+                lambda: run_once(deployment, task.profile, test_device,
+                                 task.point, task.location_name,
+                                 task.run_index, duration_s=task.duration_s,
+                                 keep_trace=task.keep_trace),
+                task.policy, key=task.key)
+            run_result, quarantined, retries = _finish_outcome(
+                outcome, task.key, span, obs.registry)
+    return _WorkerOutcome(
+        key=task.key, run_result=run_result, quarantined=quarantined,
+        attempts=outcome.attempts, retries=retries,
+        metrics=obs.registry.snapshot() if task.instrument else None,
+        spans=([span.to_dict() for span in obs.tracer.spans()]
+               if task.instrument else []))
+
+
+def _mp_context():
+    """A usable multiprocessing context (cheapest start method first).
+
+    Returns ``None`` when the platform offers no workable start method,
+    in which case the runner falls back to in-process execution.
+    """
+    try:
+        import multiprocessing
+        methods = multiprocessing.get_all_start_methods()
+    except (ImportError, OSError):  # pragma: no cover - platform specific
+        return None
+    for method in ("fork", "forkserver", "spawn"):
+        if method not in methods:
+            continue
+        try:
+            return multiprocessing.get_context(method)
+        except ValueError:  # pragma: no cover - platform specific
+            continue
+    return None  # pragma: no cover - platform specific
 
 
 @dataclass
@@ -214,7 +363,27 @@ class CampaignRunner:
     def run(self) -> CampaignResult:
         obs = self.obs if self.obs is not None else get_instrumentation()
         with instrumented(obs):
+            workers = self._effective_workers()
+            if workers > 1:
+                result = self._run_parallel(obs, workers)
+                if result is not None:
+                    return result
             return self._run(obs)
+
+    def _effective_workers(self) -> int:
+        """How many pool workers to actually use (1 == in-process).
+
+        Falls back to the in-process path for custom ``run_fn`` /
+        ``sleep`` hooks: they are closures over local state (the chaos
+        harness counts attempts in-process), so shipping them to
+        workers would be both unpicklable and semantically wrong.
+        """
+        workers = self.config.workers or 1
+        if workers <= 1:
+            return 1
+        if self.run_fn is not None or self.sleep is not None:
+            return 1
+        return workers
 
     def _run(self, obs: Instrumentation) -> CampaignResult:
         result = CampaignResult()
@@ -252,6 +421,142 @@ class CampaignRunner:
         return result
 
     # ------------------------------------------------------------------
+    # Parallel execution
+    # ------------------------------------------------------------------
+
+    def _run_parallel(self, obs: Instrumentation,
+                      workers: int) -> CampaignResult | None:
+        """Fan the schedule out over a process pool.
+
+        Returns ``None`` when the platform lacks usable multiprocessing
+        (the caller then falls back to the in-process path).  Ordering
+        contract: runs are *dispatched* as the pool has capacity but
+        *merged* strictly in schedule order, and all checkpoint appends
+        and progress callbacks happen here in the parent — so results,
+        checkpoint contents and exported counters are bit-identical to
+        ``workers=1`` for the same seed.
+        """
+        context = _mp_context()
+        if context is None:
+            return None
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers,
+                                       mp_context=context)
+        except (OSError, PermissionError, ValueError):
+            return None
+        result = CampaignResult()
+        checkpoint, restored = self._open_checkpoint()
+        policy = self.config.retry_policy()
+        test_device = device_by_name(self.config.device_name)
+        schedule = list(self.schedule())
+        registry, progress = obs.registry, obs.progress
+        keep_trace = self.config.keep_traces or checkpoint is not None
+        instrument = obs.registry.enabled or obs.tracer.enabled
+        # Bound how many undrained futures exist at once: payloads can
+        # carry full traces (checkpointing), so an unbounded backlog of
+        # out-of-order completions would hold a campaign's worth of
+        # traces in memory.
+        window = max(4 * workers, workers + 1)
+        progress.campaign_started(len(schedule))
+        try:
+            with obs.tracer.span(
+                    "campaign", seed=self.config.seed,
+                    operators=",".join(p.name for p in self.profiles),
+                    scheduled=len(schedule), workers=workers) as campaign_span:
+                pending: deque[tuple[ScheduledRun, Future | None]] = deque()
+
+                def drain_one() -> None:
+                    scheduled, future = pending.popleft()
+                    result.scheduled += 1
+                    registry.counter("campaign_runs_scheduled_total").inc()
+                    if future is None:  # checkpointed: restore in-parent
+                        entry = restored[scheduled.key]
+                        restored_run = self._restore_span(entry, scheduled,
+                                                          obs)
+                        if restored_run is not None:
+                            result.add(restored_run)
+                            registry.counter(
+                                "campaign_runs_completed_total").inc()
+                            registry.counter(
+                                "campaign_runs_restored_total").inc()
+                            progress.run_restored(scheduled.key)
+                            return
+                        # Unrestorable (corrupt or trace-less entry):
+                        # re-execute in-process, exactly like sequential.
+                        self._execute(scheduled, self.run_fn or run_once,
+                                      test_device, policy, checkpoint,
+                                      result, obs)
+                        return
+                    self._merge_worker_outcome(scheduled, future.result(),
+                                               checkpoint, result, obs,
+                                               campaign_span)
+
+                for scheduled in schedule:
+                    entry = restored.get(scheduled.key)
+                    if entry is not None and entry.succeeded:
+                        pending.append((scheduled, None))
+                    else:
+                        task = _WorkerTask(
+                            key=scheduled.key, profile=scheduled.profile,
+                            area_name=scheduled.deployment.area.name,
+                            point=scheduled.point,
+                            location_name=scheduled.location_name,
+                            run_index=scheduled.run_index,
+                            device_name=self.config.device_name,
+                            duration_s=self.config.duration_s,
+                            keep_trace=keep_trace, policy=policy,
+                            instrument=instrument)
+                        pending.append(
+                            (scheduled,
+                             pool.submit(_execute_worker_task, task)))
+                    while len(pending) >= window:
+                        drain_one()
+                while pending:
+                    drain_one()
+            pool.shutdown()
+        except BaseException:
+            # Interrupt/crash: abandon queued runs so Ctrl-C flushes the
+            # telemetry promptly instead of waiting out the backlog.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        finally:
+            progress.campaign_finished()
+        return result
+
+    def _merge_worker_outcome(self, scheduled: ScheduledRun,
+                              outcome: _WorkerOutcome,
+                              checkpoint: CampaignCheckpoint | None,
+                              result: CampaignResult, obs: Instrumentation,
+                              campaign_span) -> None:
+        """Fold one worker payload into the parent, in schedule order."""
+        registry, progress = obs.registry, obs.progress
+        if outcome.metrics is not None:
+            registry.merge(outcome.metrics)
+        if outcome.spans:
+            obs.tracer.adopt([Span.from_dict(data) for data in outcome.spans],
+                             parent=campaign_span)
+        if outcome.retries:
+            progress.run_retried(scheduled.key, outcome.retries)
+        if outcome.quarantined is not None:
+            result.quarantine(outcome.quarantined)
+            progress.run_quarantined(scheduled.key)
+            if checkpoint is not None:
+                checkpoint.record_failure(scheduled.key,
+                                          outcome.quarantined.error,
+                                          outcome.attempts)
+            return
+        run_result = outcome.run_result
+        if checkpoint is not None:
+            checkpoint.record_success(
+                scheduled.key,
+                run_result.trace.to_jsonl()
+                if run_result.trace is not None else None)
+        if not self.config.keep_traces:
+            run_result.trace = None
+        result.add(run_result)
+        progress.run_completed(scheduled.key)
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
@@ -283,37 +588,31 @@ class CampaignRunner:
                                duration_s=self.config.duration_s,
                                keep_trace=keep_trace),
                 policy, key=scheduled.key, sleep=self.sleep)
-            span.set_attribute("attempts", outcome.attempts)
-            retries = outcome.attempts - 1
+            run_result, quarantined, retries = _finish_outcome(
+                outcome, scheduled.key, span, registry)
             if retries:
-                registry.counter("campaign_run_retries_total").inc(retries)
-                registry.counter("campaign_runs_retried_total").inc()
                 progress.run_retried(scheduled.key, retries)
-            if not outcome.succeeded:
-                error = outcome.error
-                quarantined = QuarantinedRun(
-                    *scheduled.key,
-                    error=f"{type(error).__name__}: {error}",
-                    attempts=outcome.attempts)
+            if quarantined is not None:
                 result.quarantine(quarantined)
-                registry.counter("campaign_runs_quarantined_total").inc()
                 progress.run_quarantined(scheduled.key)
-                span.set_attribute("outcome", "quarantined")
                 if checkpoint is not None:
                     checkpoint.record_failure(scheduled.key,
                                               quarantined.error,
                                               outcome.attempts)
                 return
-            run_result: RunResult = outcome.value
-            if checkpoint is not None and run_result.trace is not None:
-                checkpoint.record_success(scheduled.key,
-                                          run_result.trace.to_jsonl())
+            if checkpoint is not None:
+                # A custom run_fn may drop the trace even when asked to
+                # keep it; record a trace-less success so resume still
+                # knows the run completed (it re-executes deliberately,
+                # keeping CampaignResult counters reconciled).
+                checkpoint.record_success(
+                    scheduled.key,
+                    run_result.trace.to_jsonl()
+                    if run_result.trace is not None else None)
             if not self.config.keep_traces:
                 run_result.trace = None
             result.add(run_result)
-            registry.counter("campaign_runs_completed_total").inc()
             progress.run_completed(scheduled.key)
-            span.set_attribute("outcome", "completed")
 
     def _restore_span(self, entry: CheckpointEntry, scheduled: ScheduledRun,
                       obs: Instrumentation) -> RunResult | None:

@@ -88,7 +88,15 @@ def _add_campaign_parser(subparsers) -> None:
     parser.add_argument("--seed", type=int, default=0,
                         help="campaign seed (locations, retry jitter; "
                              "default 0)")
+    _add_workers_flag(parser)
     _add_observability_flags(parser)
+
+
+def _add_workers_flag(parser) -> None:
+    parser.add_argument("--workers", type=int, default=1,
+                        help="run the campaign over N worker processes "
+                             "(results are bit-identical to --workers 1 "
+                             "for the same seed; default 1)")
 
 
 def _add_observability_flags(parser) -> None:
@@ -168,6 +176,7 @@ def _add_profile_parser(subparsers) -> None:
                         help="run duration in seconds (default 60)")
     parser.add_argument("--max-retries", type=int, default=0,
                         help="retries per failed run (default 0)")
+    _add_workers_flag(parser)
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="also write the metrics snapshot here (JSON, "
                              "or Prometheus text for .prom/.txt paths)")
@@ -246,6 +255,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
+        workers=args.workers,
     )
     obs = _build_instrumentation(args)
     try:
@@ -339,6 +349,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         runs=args.runs,
         duration_s=args.duration,
         max_retries=args.max_retries,
+        workers=args.workers,
     )
     _flush_observability(report.obs, args)
     print(report.summary())

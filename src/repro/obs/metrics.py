@@ -49,19 +49,64 @@ DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
 )
 
 
+def _escape_label(text: str) -> str:
+    """Escape a label name/value for the canonical series key.
+
+    ``,`` and ``=`` are the key's structural characters, so raw
+    occurrences inside a value would make distinct label sets collide
+    (``{"a": "1,b=2"}`` vs ``{"a": "1", "b": "2"}``).  Values without
+    structural characters encode unchanged, so ordinary keys keep their
+    legacy byte-identical form.
+    """
+    return (text.replace("\\", "\\\\").replace(",", "\\,")
+                .replace("=", "\\="))
+
+
 def _labels_key(labels: dict[str, object]) -> str:
-    """Canonical series key: ``"a=1,b=x"`` with sorted label names."""
+    """Canonical series key: ``"a=1,b=x"`` with sorted, escaped labels."""
     if not labels:
         return ""
-    return ",".join(f"{name}={labels[name]}" for name in sorted(labels))
+    return ",".join(f"{_escape_label(name)}={_escape_label(str(labels[name]))}"
+                    for name in sorted(labels))
+
+
+def _split_key(key: str) -> list[tuple[str, str]]:
+    """Escape-aware inverse of :func:`_labels_key`: ``[(name, value)]``."""
+    pairs: list[tuple[str, str]] = []
+    name: str | None = None
+    current: list[str] = []
+    index = 0
+    while index < len(key):
+        char = key[index]
+        if char == "\\" and index + 1 < len(key):
+            current.append(key[index + 1])
+            index += 2
+            continue
+        if char == "=" and name is None:
+            name = "".join(current)
+            current = []
+        elif char == ",":
+            pairs.append((name or "", "".join(current)))
+            name, current = None, []
+        else:
+            current.append(char)
+        index += 1
+    pairs.append((name or "", "".join(current)))
+    return pairs
+
+
+def _prom_escape(value: str) -> str:
+    """Escape a label value for the text exposition format."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+                 .replace("\n", "\\n"))
 
 
 def _labels_prom(key: str) -> str:
     """Render a canonical series key as a Prometheus label block."""
     if not key:
         return ""
-    pairs = [pair.split("=", 1) for pair in key.split(",")]
-    inner = ",".join(f'{name}="{value}"' for name, value in pairs)
+    inner = ",".join(f'{name}="{_prom_escape(value)}"'
+                     for name, value in _split_key(key))
     return "{" + inner + "}"
 
 
@@ -181,6 +226,12 @@ class Histogram:
     def reset(self) -> None:
         self.series.clear()
 
+    def bucket_label(self, index: int) -> str:
+        """The snapshot label of bucket ``index`` (``repr`` or ``+Inf``)."""
+        if index == len(self.buckets):
+            return "+Inf"
+        return repr(self.buckets[index])
+
     def snapshot(self) -> dict[str, dict]:
         out: dict[str, dict] = {}
         for key in sorted(self.series):
@@ -189,11 +240,13 @@ class Histogram:
                 "count": entry.count,
                 "sum": entry.total,
                 "buckets": {
-                    ("+Inf" if index == len(self.buckets)
-                     else repr(self.buckets[index])): count
+                    self.bucket_label(index): count
                     for index, count in enumerate(entry.bucket_counts)
                     if count
                 },
+                # Bounds make the snapshot self-describing, so a
+                # registry in another process can merge() it losslessly.
+                "bounds": list(self.buckets),
             }
         return out
 
@@ -287,6 +340,48 @@ class MetricsRegistry:
             out[metric.kind + "s"][metric.name] = metric.snapshot()
         return out
 
+    # -- merging --------------------------------------------------------
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counter and gauge series add; histogram series add bucket-wise
+        (bucket bounds come from the snapshot's ``bounds`` field, so a
+        histogram never observed in this registry merges losslessly).
+        This is how the parallel campaign engine folds per-run worker
+        telemetry back into the parent registry: merging worker
+        snapshots in schedule order reproduces exactly the counter
+        values sequential execution would have produced.
+        """
+        for name, series in snapshot.get("counters", {}).items():
+            counter = self.counter(name)
+            for key, value in series.items():
+                counter.series[key] = counter.series.get(key, 0.0) + value
+        for name, series in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            for key, value in series.items():
+                gauge.series[key] = gauge.series.get(key, 0.0) + value
+        for name, series in snapshot.get("histograms", {}).items():
+            for key, data in series.items():
+                bounds = tuple(data.get("bounds", DEFAULT_TIME_BUCKETS))
+                histogram = self.histogram(name, buckets=bounds)
+                if tuple(histogram.buckets) != bounds:
+                    raise ValueError(
+                        f"histogram {name!r} bucket bounds differ: "
+                        f"{histogram.buckets} != {bounds}")
+                entry = histogram.series.get(key)
+                if entry is None:
+                    entry = _HistogramSeries(
+                        bucket_counts=[0] * (len(histogram.buckets) + 1))
+                    histogram.series[key] = entry
+                label_to_index = {histogram.bucket_label(index): index
+                                  for index in
+                                  range(len(histogram.buckets) + 1)}
+                for label, count in data.get("buckets", {}).items():
+                    entry.bucket_counts[label_to_index[label]] += count
+                entry.total += data.get("sum", 0.0)
+                entry.count += data.get("count", 0)
+
     # -- exporters ------------------------------------------------------
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -297,7 +392,9 @@ class MetricsRegistry:
         lines: list[str] = []
         for metric in self.metrics():
             if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
+                help_text = metric.help.replace("\\", "\\\\") \
+                                       .replace("\n", "\\n")
+                lines.append(f"# HELP {metric.name} {help_text}")
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             if isinstance(metric, Histogram):
                 self._prom_histogram(metric, lines)
@@ -410,6 +507,9 @@ class NullRegistry(MetricsRegistry):
 
     def timer(self, name: str, help: str = "", **labels: object) -> Timer:
         return _NULL_TIMER  # type: ignore[return-value]
+
+    def merge(self, snapshot: dict) -> None:
+        return None
 
 
 #: Shared disabled registry (the process-wide default instrumentation).

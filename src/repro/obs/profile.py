@@ -106,6 +106,7 @@ def run_profile(seed: int = 42,
                 duration_s: int = 60,
                 device_name: str = "OnePlus 12R",
                 max_retries: int = 0,
+                workers: int = 1,
                 clock: Callable[[], float] = time.monotonic,
                 ) -> ProfileReport:
     """Run the instrumented mini-campaign behind ``repro profile``."""
@@ -124,6 +125,7 @@ def run_profile(seed: int = 42,
         area_names=area_names,
         seed=seed,
         max_retries=max_retries,
+        workers=workers,
     )
     obs = make_instrumentation(clock=clock)
     result = CampaignRunner(profiles, config, obs=obs).run()

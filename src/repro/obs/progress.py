@@ -102,6 +102,7 @@ class StderrProgressReporter(ProgressReporter):
 
     def run_retried(self, key: tuple, retries: int) -> None:
         self.retries += retries
+        self._draw()
 
     def campaign_finished(self) -> None:
         if self._finished:

@@ -145,6 +145,36 @@ class Tracer:
     def current(self) -> Span | None:
         return self._stack[-1] if self._stack else None
 
+    def adopt(self, spans: list[Span], parent: Span | None = None,
+              ) -> list[Span]:
+        """Re-home spans collected by another tracer (a worker process).
+
+        Span ids are reassigned from this tracer's sequence (in the
+        donor's original open order, so relative structure is
+        preserved), parentless spans are re-parented under ``parent``,
+        and the renumbered spans are appended to the collector in the
+        donor's close order.  Timestamps are kept verbatim: they are on
+        the donor process's monotonic clock, so durations stay truthful
+        but cross-process span trees are not comparable on one global
+        timeline (``verify_span_tree`` applies per process).
+        """
+        id_map: dict[int, int] = {}
+        for span in sorted(spans, key=lambda span: span.span_id):
+            id_map[span.span_id] = self._next_id
+            self._next_id += 1
+        adopted: list[Span] = []
+        for span in spans:
+            new_parent = (id_map[span.parent_id]
+                          if span.parent_id in id_map
+                          else (parent.span_id if parent else None))
+            adopted.append(Span(
+                name=span.name, span_id=id_map[span.span_id],
+                parent_id=new_parent, start_s=span.start_s,
+                end_s=span.end_s, status=span.status,
+                attributes=dict(span.attributes)))
+        self.finished.extend(adopted)
+        return adopted
+
     # -- collector views ------------------------------------------------
 
     def spans(self) -> list[Span]:
@@ -270,6 +300,10 @@ class NullTracer(Tracer):
 
     def span(self, name: str, **attributes: object) -> _SpanContext:
         return _NULL_SPAN_CONTEXT  # type: ignore[return-value]
+
+    def adopt(self, spans: list[Span], parent: Span | None = None,
+              ) -> list[Span]:
+        return []
 
 
 #: Shared disabled tracer (the process-wide default instrumentation).

@@ -14,11 +14,11 @@ and identical seeds must yield identical quarantine lists and
 
 from __future__ import annotations
 
-import zlib
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.core.seeding import stable_seed as _mix
 from repro.resilience.checkpoint import RunKey
 from repro.resilience.faults import FAULT_KINDS, FaultInjector, InjectionReport
 from repro.resilience.ingest import ParseReport
@@ -26,10 +26,6 @@ from repro.resilience.ingest import ParseReport
 if TYPE_CHECKING:  # the campaign layer is imported lazily to avoid a cycle
     from repro.campaign.dataset import CampaignResult, RunResult
     from repro.campaign.runner import CampaignConfig
-
-
-def _mix(*parts: object) -> int:
-    return zlib.crc32("|".join(str(part) for part in parts).encode("utf-8"))
 
 
 class ChaosRunError(RuntimeError):

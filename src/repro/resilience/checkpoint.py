@@ -45,7 +45,14 @@ class CampaignCheckpoint:
     def __init__(self, path: str | Path):
         self.path = Path(path)
 
-    def record_success(self, key: RunKey, trace_jsonl: str) -> None:
+    def record_success(self, key: RunKey, trace_jsonl: str | None) -> None:
+        """Record a completed run.
+
+        ``trace_jsonl=None`` records a *trace-less* success (a custom
+        ``run_fn`` dropped the trace): resume then knows the run
+        completed but deliberately re-executes it, since there is
+        nothing to restore the analysis from.
+        """
         self._append({"key": list(key), "status": "ok",
                       "trace": trace_jsonl})
 
@@ -64,14 +71,21 @@ class CampaignCheckpoint:
     # ------------------------------------------------------------------
 
     def load(self) -> dict[RunKey, CheckpointEntry]:
-        """Read back all valid entries; malformed lines are skipped."""
+        """Read back all valid entries; malformed lines are skipped.
+
+        The file is streamed line by line rather than slurped: success
+        entries embed full serialized traces, so a campaign-scale
+        checkpoint can reach hundreds of MB and must never be held in
+        memory twice (once as text, once decoded).
+        """
         if not self.path.exists():
             return {}
         entries: dict[RunKey, CheckpointEntry] = {}
-        for line in self.path.read_text(encoding="utf-8").splitlines():
-            entry = _decode_entry(line)
-            if entry is not None:
-                entries[entry.key] = entry
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                entry = _decode_entry(line)
+                if entry is not None:
+                    entries[entry.key] = entry
         return entries
 
 
@@ -86,8 +100,10 @@ def _decode_entry(line: str) -> CheckpointEntry | None:
                int(raw_key[3]))
         status = str(data["status"])
         if status == "ok":
+            trace = data["trace"]
             return CheckpointEntry(key=key, status=status,
-                                   trace_jsonl=str(data["trace"]))
+                                   trace_jsonl=(None if trace is None
+                                                else str(trace)))
         if status == "failed":
             return CheckpointEntry(key=key, status=status,
                                    error=str(data.get("error", "")),

@@ -15,19 +15,15 @@ which is what simulations and tests want.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.core.seeding import stable_seed as _mix
 from repro.obs import get_instrumentation
 
 #: Bucket bounds for the attempts-per-run histogram (attempt counts are
 #: small integers, so unit-width buckets keep the distribution exact).
 ATTEMPT_BUCKETS: tuple[float, ...] = (1, 2, 3, 4, 5, 8, 13, 21)
-
-
-def _mix(*parts: object) -> int:
-    return zlib.crc32("|".join(str(part) for part in parts).encode("utf-8"))
 
 
 @dataclass(frozen=True)

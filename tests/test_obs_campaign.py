@@ -110,6 +110,18 @@ class TestProgressReporting:
         assert "ok=" in stream.getvalue()
         assert stream.getvalue().endswith("\n")  # final line flushed
 
+    def test_retry_notification_repaints_status_line(self):
+        # run_retried must redraw immediately: a long retry storm with
+        # no completions would otherwise leave a stale line on screen.
+        stream = io.StringIO()
+        progress = StderrProgressReporter(stream=stream, clock=FakeClock())
+        progress.campaign_started(4)
+        painted = stream.getvalue()
+        progress.run_retried(("OP", "A", "P", 0), 2)
+        repaint = stream.getvalue()[len(painted):]
+        assert "retries=2" in repaint
+        assert progress.snapshot()["retries"] == 2
+
     def test_rate_and_eta_from_fake_clock(self):
         clock = FakeClock()
         progress = StderrProgressReporter(stream=io.StringIO(), clock=clock)

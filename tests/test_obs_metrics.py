@@ -189,6 +189,141 @@ class TestExporters:
         assert counts[-1] == 4
 
 
+class TestLabelEscaping:
+    """Label keys must be injective: adversarial values must not alias."""
+
+    def test_delimiter_in_value_does_not_collide(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc(3, a="1,b=2")
+        counter.inc(4, a="1", b="2")
+        # Legacy raw ",".join of "k=v" pairs made these one series.
+        assert counter.value(a="1,b=2") == 3.0
+        assert counter.value(a="1", b="2") == 4.0
+        assert counter.total() == 7.0
+        assert len(counter.series) == 2
+
+    def test_backslash_in_value_does_not_collide(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc(1, a="x\\", b="y")
+        counter.inc(2, a="x", b="\\y")
+        assert counter.value(a="x\\", b="y") == 1.0
+        assert counter.value(a="x", b="\\y") == 2.0
+
+    def test_snapshot_keys_stay_readable_for_plain_labels(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc(operator="OP_T", area="A1")
+        assert counter.snapshot() == {"area=A1,operator=OP_T": 1.0}
+
+    def test_prometheus_escapes_quotes_backslashes_newlines(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.counter("c").inc(1, path='a"b', raw="x\\y", msg="l1\nl2")
+        text = registry.to_prometheus()
+        assert 'path="a\\"b"' in text
+        assert 'raw="x\\\\y"' in text
+        assert 'msg="l1\\nl2"' in text
+        # The export must stay line-oriented: no raw newline may survive
+        # inside a label value.
+        for line in text.splitlines():
+            if line.startswith("c{"):
+                assert line.endswith("} 1")
+
+    def test_prometheus_round_trips_adversarial_series_distinctly(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        counter = registry.counter("c")
+        counter.inc(1, a="1,b=2")
+        counter.inc(1, a="1", b="2")
+        text = registry.to_prometheus()
+        assert 'c{a="1,b=2"} 1' in text
+        assert 'c{a="1",b="2"} 1' in text
+
+    def test_help_text_is_escaped(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.counter("c", help="line1\nline2 \\ done").inc()
+        text = registry.to_prometheus()
+        assert "# HELP c line1\\nline2 \\\\ done" in text
+
+
+class TestRegistryMerge:
+    def test_counters_and_gauges_add_series_wise(self):
+        parent = MetricsRegistry(clock=FakeClock())
+        parent.counter("runs_total").inc(2, operator="OP_T")
+        parent.gauge("in_flight").set(1)
+        worker = MetricsRegistry(clock=FakeClock())
+        worker.counter("runs_total").inc(3, operator="OP_T")
+        worker.counter("runs_total").inc(1, operator="OP_V")
+        worker.gauge("in_flight").set(2)
+        parent.merge(worker.snapshot())
+        assert parent.counter("runs_total").value(operator="OP_T") == 5.0
+        assert parent.counter("runs_total").value(operator="OP_V") == 1.0
+        assert parent.gauge("in_flight").value() == 3.0
+
+    def test_histograms_merge_bucket_wise_with_custom_bounds(self):
+        bounds = (1.0, 2.0, 3.0, 5.0, 8.0)  # non-default buckets
+        parent = MetricsRegistry(clock=FakeClock())
+        parent.histogram("attempts", buckets=bounds).observe(1.0)
+        worker = MetricsRegistry(clock=FakeClock())
+        worker.histogram("attempts", buckets=bounds).observe(4.0)
+        worker.histogram("attempts", buckets=bounds).observe(99.0)
+        parent.merge(worker.snapshot())
+        histogram = parent.histogram("attempts")
+        assert histogram.count() == 3
+        assert histogram.sum() == pytest.approx(104.0)
+        assert histogram.snapshot()[""]["buckets"] \
+            == {"1.0": 1, "5.0": 1, "+Inf": 1}
+
+    def test_merge_creates_unknown_instruments_with_snapshot_bounds(self):
+        bounds = (1.0, 2.0, 3.0, 4.0, 5.0, 8.0, 13.0, 21.0)
+        worker = MetricsRegistry(clock=FakeClock())
+        worker.histogram("retry_attempts", buckets=bounds).observe(13.0)
+        parent = MetricsRegistry(clock=FakeClock())
+        parent.merge(worker.snapshot())
+        # The parent had never seen the histogram: bounds must come from
+        # the snapshot, not DEFAULT_TIME_BUCKETS.
+        histogram = parent.histogram("retry_attempts")
+        assert histogram.buckets == bounds
+        assert histogram.snapshot()[""]["buckets"] == {"13.0": 1}
+
+    def test_merge_is_equivalent_to_sequential_recording(self):
+        recorded_twice = MetricsRegistry(clock=FakeClock())
+        merged = MetricsRegistry(clock=FakeClock())
+        for registry in (recorded_twice, merged):
+            registry.counter("c").inc(1, kind="I")
+            registry.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        worker = MetricsRegistry(clock=FakeClock())
+        worker.counter("c").inc(2, kind="I")
+        worker.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        recorded_twice.counter("c").inc(2, kind="I")
+        recorded_twice.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        merged.merge(worker.snapshot())
+        assert merged.snapshot() == recorded_twice.snapshot()
+
+    def test_bound_mismatch_raises(self):
+        parent = MetricsRegistry(clock=FakeClock())
+        parent.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        worker = MetricsRegistry(clock=FakeClock())
+        worker.histogram("h", buckets=(9.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            parent.merge(worker.snapshot())
+
+    def test_empty_snapshot_is_a_no_op(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.counter("c").inc()
+        before = registry.snapshot()
+        registry.merge({"counters": {}, "gauges": {}, "histograms": {}})
+        assert registry.snapshot() == before
+
+    def test_null_registry_merge_does_not_corrupt_shared_instrument(self):
+        null = NullRegistry()
+        live = MetricsRegistry(clock=FakeClock())
+        live.counter("c").inc(5)
+        null.merge(live.snapshot())
+        # _NullInstrument.series is class-level shared state: a real
+        # merge would leak data into every null registry.
+        assert null.counter("c").series == {}
+        assert null.snapshot() == {"counters": {}, "gauges": {},
+                                   "histograms": {}}
+
+
 class TestNullRegistry:
     def test_is_disabled_and_inert(self):
         registry = NullRegistry()

@@ -19,6 +19,7 @@ from repro.resilience.chaos import (
     SimulatedInterrupt,
     run_chaos_campaign,
 )
+from repro.resilience.checkpoint import CampaignCheckpoint
 
 #: Seed 1 deterministically marks 1 of the 8 scheduled runs as a
 #: permanent failure and 3 as transient (first-attempt-only) failures.
@@ -135,3 +136,70 @@ class TestChaosInterruptResume:
         report = resumed.run()
         assert report.quarantine_keys() == chaos_report.quarantine_keys()
         assert report.result.completed == chaos_report.result.completed
+
+
+class TracelessChaosHarness(ChaosHarness):
+    """A chaos harness whose run_fn drops every trace.
+
+    The runner asks for traces when checkpointing, but a custom run_fn
+    is free to ignore that — this one always does, exercising the
+    trace-less checkpoint-success path.
+    """
+
+    def _chaotic_run_once(self, deployment, profile, device, point,
+                          location_name, run_index, duration_s=300,
+                          keep_trace=False):
+        return super()._chaotic_run_once(
+            deployment, profile, device, point, location_name, run_index,
+            duration_s=duration_s, keep_trace=False)
+
+
+class TestTracelessCheckpoint:
+    def test_traceless_success_still_checkpointed(self, tmp_path):
+        profiles = [operator(name) for name in PROFILES]
+        path = tmp_path / "traceless.ckpt"
+        report = TracelessChaosHarness(
+            profiles, campaign_config(checkpoint_path=path),
+            chaos_config()).run()
+        assert report.reconciles()
+
+        entries = CampaignCheckpoint(path).load()
+        assert len(entries) == report.result.scheduled == 8
+        succeeded = [e for e in entries.values() if e.succeeded]
+        assert len(succeeded) == report.result.completed
+        # The run_fn dropped every trace, yet each completion was still
+        # recorded — as a trace-less success.
+        assert all(entry.trace_jsonl is None for entry in succeeded)
+        assert '"trace": null' in path.read_text()
+
+    def test_traceless_resume_reexecutes_deliberately(self, tmp_path,
+                                                      chaos_report):
+        profiles = [operator(name) for name in PROFILES]
+        path = tmp_path / "traceless2.ckpt"
+        interrupted = TracelessChaosHarness(
+            profiles, campaign_config(checkpoint_path=path),
+            chaos_config(interrupt_after=3))
+        with pytest.raises(SimulatedInterrupt):
+            interrupted.run()
+
+        resumed = TracelessChaosHarness(
+            profiles, campaign_config(checkpoint_path=path, resume=True),
+            chaos_config())
+        report = resumed.run()
+        # Trace-less entries cannot be restored, so every completed run
+        # re-executes — and the counters still reconcile.
+        assert report.reconciles()
+        assert report.result.scheduled == 8
+        assert len(resumed.parse_reports) == report.result.completed
+        assert report.quarantine_keys() == chaos_report.quarantine_keys()
+
+    def test_load_streams_past_truncated_final_line(self, tmp_path):
+        profiles = [operator(name) for name in PROFILES]
+        path = tmp_path / "truncated.ckpt"
+        report = TracelessChaosHarness(
+            profiles, campaign_config(checkpoint_path=path),
+            chaos_config()).run()
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": ["OP_T", "A2", "A2-')  # killed mid-append
+        entries = CampaignCheckpoint(path).load()
+        assert len(entries) == report.result.scheduled
