@@ -23,13 +23,22 @@ order**, so the ``CampaignResult``, checkpoint contents and every
 exported counter are bit-identical to sequential execution for the
 same seed.  Checkpoint appends and progress callbacks only ever happen
 in the parent process.
+
+Execution is *supervised* (see :mod:`repro.resilience.supervision`):
+every run gets a cooperative wall-clock budget
+(``CampaignConfig.run_timeout_s``), hung or crashed pool workers are
+killed and the pool rebuilt with the in-flight keys rescheduled — all
+bounded by a circuit breaker — and SIGTERM/SIGINT drain finished
+futures and flush the checkpoint before the resume hint.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from collections import deque
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import CancelledError, Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterator
@@ -38,6 +47,7 @@ from repro.campaign.dataset import CampaignResult, QuarantinedRun, RunResult
 from repro.campaign.devices import device as device_by_name
 from repro.campaign.locations import sparse_locations
 from repro.campaign.operators import OperatorProfile, build_deployment
+from repro.core.deadline import check_deadline, deadline_scope
 from repro.core.pipeline import analyze_trace
 from repro.core.seeding import stable_seed as _run_seed
 from repro.obs import (
@@ -52,6 +62,15 @@ from repro.radio.deployment import AreaDeployment
 from repro.radio.geometry import Point
 from repro.resilience.checkpoint import CampaignCheckpoint, CheckpointEntry, RunKey
 from repro.resilience.retry import AttemptOutcome, RetryPolicy, execute_with_retry
+from repro.resilience.supervision import (
+    POOL_CRASH_ERRORS,
+    CircuitBreaker,
+    PoolSupervisor,
+    RunTimeoutError,
+    ShutdownRequested,
+    WorkerCrashError,
+    parent_wait_budget,
+)
 from repro.rrc.capabilities import DeviceCapabilities
 from repro.rrc.session import RunConfig, simulate_run
 from repro.traces.log import TraceMetadata
@@ -93,6 +112,7 @@ def run_once(
             obs.registry.timer("stage_seconds", stage="simulate"):
         trace = simulate_run(deployment.environment, profile.policy, device,
                              point, config)
+    check_deadline("simulate")
     analysis = analyze_trace(trace)
     return RunResult(metadata=metadata, analysis=analysis,
                      trace=trace if keep_trace else None, point=point)
@@ -145,6 +165,19 @@ class CampaignConfig:
     keeps the in-process path).  Parallel execution is bit-identical to
     sequential for the same seed: results, checkpoint contents and
     exported counters are merged in schedule order by the parent.
+
+    The supervision knobs (see :mod:`repro.resilience.supervision`):
+    ``run_timeout_s`` gives every run a wall-clock budget — enforced
+    cooperatively between pipeline stages in-process, and by a
+    parent-side future deadline with worker kill-and-respawn in the
+    pool path; a timed-out run flows into retry/quarantine as a
+    :class:`RunTimeoutError`.  ``breaker_max_rebuilds`` /
+    ``breaker_max_consecutive_failures`` bound supervision-level
+    recovery before the campaign fails fast (``0`` disables the
+    consecutive-failure check).  ``checkpoint_fsync=False`` trades the
+    per-append ``os.fsync`` durability guarantee for throughput, and
+    ``shutdown_grace_s`` caps how long a graceful SIGTERM/SIGINT stop
+    waits to drain in-flight worker futures into the checkpoint.
     """
 
     device_name: str = "OnePlus 12R"
@@ -161,6 +194,11 @@ class CampaignConfig:
     checkpoint_path: str | Path | None = None
     resume: bool = False
     workers: int = 1
+    run_timeout_s: float | None = None
+    checkpoint_fsync: bool = True
+    breaker_max_rebuilds: int = 3
+    breaker_max_consecutive_failures: int = 0
+    shutdown_grace_s: float = 5.0
 
     def locations_for(self, area_name: str) -> int:
         return self.a1_locations if area_name == "A1" else self.locations_per_area
@@ -173,6 +211,11 @@ class CampaignConfig:
         return RetryPolicy(max_retries=self.max_retries,
                            backoff_base_s=self.retry_backoff_s,
                            seed=self.seed)
+
+    def breaker(self) -> CircuitBreaker:
+        return CircuitBreaker(
+            max_rebuilds=self.breaker_max_rebuilds,
+            max_consecutive_failures=self.breaker_max_consecutive_failures)
 
 
 #: One schedulable run: everything run_once needs, plus its identity key.
@@ -206,6 +249,7 @@ class _WorkerTask:
     keep_trace: bool
     policy: RetryPolicy
     instrument: bool
+    run_timeout_s: float | None = None
 
 
 @dataclass
@@ -219,6 +263,22 @@ class _WorkerOutcome:
     retries: int
     metrics: dict | None
     spans: list[dict]
+    timed_out: bool = False
+
+
+@dataclass
+class _Pending:
+    """One schedule slot awaiting its in-order merge in the parent.
+
+    ``task``/``future`` are ``None`` for checkpointed runs restored
+    in-parent; ``kills`` counts how many times supervision killed the
+    worker this run was blamed for (bounded by the retry policy).
+    """
+
+    scheduled: ScheduledRun
+    task: _WorkerTask | None = None
+    future: Future | None = None
+    kills: int = 0
 
 
 #: Per-worker-process deployment cache: deployments are deterministic
@@ -239,8 +299,14 @@ def _worker_deployment(profile: OperatorProfile,
 
 def _finish_outcome(outcome: AttemptOutcome, key: RunKey, span,
                     registry) -> tuple[RunResult | None,
-                                       QuarantinedRun | None, int]:
-    """Shared post-retry accounting (sequential path and pool workers)."""
+                                       QuarantinedRun | None, int, bool]:
+    """Shared post-retry accounting (sequential path and pool workers).
+
+    Returns ``(run_result, quarantined, retries, timed_out)`` —
+    ``timed_out`` flags a quarantine whose terminal error was the run
+    blowing its wall-clock budget, which gets its own progress tally
+    and supervision counter.
+    """
     span.set_attribute("attempts", outcome.attempts)
     retries = outcome.attempts - 1
     if retries:
@@ -248,15 +314,19 @@ def _finish_outcome(outcome: AttemptOutcome, key: RunKey, span,
         registry.counter("campaign_runs_retried_total").inc()
     if not outcome.succeeded:
         error = outcome.error
+        timed_out = isinstance(error, RunTimeoutError)
         quarantined = QuarantinedRun(
             *key, error=f"{type(error).__name__}: {error}",
             attempts=outcome.attempts)
         registry.counter("campaign_runs_quarantined_total").inc()
+        if timed_out:
+            registry.counter("campaign_run_timeouts_total").inc()
+            span.set_attribute("timed_out", True)
         span.set_attribute("outcome", "quarantined")
-        return None, quarantined, retries
+        return None, quarantined, retries, timed_out
     registry.counter("campaign_runs_completed_total").inc()
     span.set_attribute("outcome", "completed")
-    return outcome.value, None, retries
+    return outcome.value, None, retries, False
 
 
 def _execute_worker_task(task: _WorkerTask) -> _WorkerOutcome:
@@ -270,26 +340,36 @@ def _execute_worker_task(task: _WorkerTask) -> _WorkerOutcome:
     obs = make_instrumentation() if task.instrument else NULL_INSTRUMENTATION
     deployment = _worker_deployment(task.profile, task.area_name)
     test_device = device_by_name(task.device_name)
+
+    def attempt() -> RunResult:
+        # Each retry attempt gets a fresh cooperative deadline; a run
+        # that overruns raises RunTimeoutError at the next stage
+        # boundary (or here, if it only overran while finishing) and
+        # flows through the normal retry/quarantine machinery.
+        with deadline_scope(task.run_timeout_s):
+            value = run_once(deployment, task.profile, test_device,
+                             task.point, task.location_name,
+                             task.run_index, duration_s=task.duration_s,
+                             keep_trace=task.keep_trace)
+            check_deadline("run")
+            return value
+
     with instrumented(obs):
         with obs.tracer.span("run", operator=task.profile.name,
                              area=task.area_name,
                              location=task.location_name,
                              run_index=task.run_index,
                              worker_pid=os.getpid()) as span:
-            outcome = execute_with_retry(
-                lambda: run_once(deployment, task.profile, test_device,
-                                 task.point, task.location_name,
-                                 task.run_index, duration_s=task.duration_s,
-                                 keep_trace=task.keep_trace),
-                task.policy, key=task.key)
-            run_result, quarantined, retries = _finish_outcome(
+            outcome = execute_with_retry(attempt, task.policy, key=task.key)
+            run_result, quarantined, retries, timed_out = _finish_outcome(
                 outcome, task.key, span, obs.registry)
     return _WorkerOutcome(
         key=task.key, run_result=run_result, quarantined=quarantined,
         attempts=outcome.attempts, retries=retries,
         metrics=obs.registry.snapshot() if task.instrument else None,
         spans=([span.to_dict() for span in obs.tracer.spans()]
-               if task.instrument else []))
+               if task.instrument else []),
+        timed_out=timed_out)
 
 
 def _mp_context():
@@ -389,6 +469,7 @@ class CampaignRunner:
         result = CampaignResult()
         checkpoint, restored = self._open_checkpoint()
         policy = self.config.retry_policy()
+        breaker = self.config.breaker()
         run_fn = self.run_fn or run_once
         test_device = device_by_name(self.config.device_name)
         schedule = list(self.schedule())
@@ -413,9 +494,15 @@ class CampaignRunner:
                             registry.counter(
                                 "campaign_runs_restored_total").inc()
                             progress.run_restored(scheduled.key)
+                            breaker.record_success()
                             continue
-                    self._execute(scheduled, run_fn, test_device, policy,
-                                  checkpoint, result, obs)
+                    if self._execute(scheduled, run_fn, test_device, policy,
+                                     checkpoint, result, obs):
+                        breaker.record_success()
+                    else:
+                        # May raise CircuitBreakerOpen (fail fast with a
+                        # diagnostic summary) on a long enough streak.
+                        breaker.record_failure("quarantine", scheduled.key)
         finally:
             progress.campaign_finished()
         return result
@@ -426,7 +513,7 @@ class CampaignRunner:
 
     def _run_parallel(self, obs: Instrumentation,
                       workers: int) -> CampaignResult | None:
-        """Fan the schedule out over a process pool.
+        """Fan the schedule out over a supervised process pool.
 
         Returns ``None`` when the platform lacks usable multiprocessing
         (the caller then falls back to the in-process path).  Ordering
@@ -434,67 +521,159 @@ class CampaignRunner:
         *merged* strictly in schedule order, and all checkpoint appends
         and progress callbacks happen here in the parent — so results,
         checkpoint contents and exported counters are bit-identical to
-        ``workers=1`` for the same seed.
+        ``workers=1`` for the same seed whenever no worker hangs or
+        crashes.
+
+        Supervision: each head future gets a hard parent-side wait
+        budget (:func:`parent_wait_budget`, covering the worker's whole
+        cooperative retry envelope); blowing it — or breaking the pool —
+        kills the worker processes, rebuilds the pool, reschedules the
+        in-flight keys and retries or quarantines the blamed run, all
+        bounded by the circuit breaker.  SIGTERM/SIGINT drain finished
+        head futures into the checkpoint (within ``shutdown_grace_s``)
+        before re-raising for the CLI's resume hint.
         """
         context = _mp_context()
         if context is None:
             return None
-        try:
-            pool = ProcessPoolExecutor(max_workers=workers,
-                                       mp_context=context)
-        except (OSError, PermissionError, ValueError):
+        breaker = self.config.breaker()
+        supervisor = PoolSupervisor(workers, context, breaker)
+        if not supervisor.start():
             return None
+        try:
+            # May raise CheckpointMismatchError on a foreign checkpoint.
+            checkpoint, restored = self._open_checkpoint()
+        except BaseException:
+            supervisor.shutdown(wait=False, cancel_futures=True)
+            raise
         result = CampaignResult()
-        checkpoint, restored = self._open_checkpoint()
         policy = self.config.retry_policy()
         test_device = device_by_name(self.config.device_name)
         schedule = list(self.schedule())
         registry, progress = obs.registry, obs.progress
         keep_trace = self.config.keep_traces or checkpoint is not None
         instrument = obs.registry.enabled or obs.tracer.enabled
+        run_timeout = self.config.run_timeout_s
+        wait_budget = (parent_wait_budget(run_timeout, policy.max_retries)
+                       if run_timeout is not None else None)
         # Bound how many undrained futures exist at once: payloads can
         # carry full traces (checkpointing), so an unbounded backlog of
         # out-of-order completions would hold a campaign's worth of
         # traces in memory.
         window = max(4 * workers, workers + 1)
+        pending: deque[_Pending] = deque()
+        campaign_span = None
         progress.campaign_started(len(schedule))
+
+        def resubmit(item: _Pending) -> None:
+            item.future = supervisor.submit(_execute_worker_task, item.task)
+
+        def reschedule_in_flight(head: _Pending) -> None:
+            """Resubmit every run the dead pool took down with it.
+
+            Futures that completed *before* the pool died keep their
+            results; everything else (running, queued-then-cancelled,
+            poisoned with the pool's BrokenProcessPool) is resubmitted
+            to the fresh pool.
+            """
+            rescheduled = 0
+            for item in pending:
+                if item is head or item.task is None or item.future is None:
+                    continue
+                if item.future.done() and not item.future.cancelled() \
+                        and item.future.exception() is None:
+                    continue
+                resubmit(item)
+                rescheduled += 1
+            if rescheduled:
+                registry.counter(
+                    "campaign_runs_rescheduled_total").inc(rescheduled)
+
+        def supervise(item: _Pending) -> _WorkerOutcome | None:
+            """Await one head future under the parent's hard deadline.
+
+            Returns the worker's outcome, or ``None`` when supervision
+            gave the run up (it has been quarantined here).  A worker
+            that merely *times out* cooperatively still returns an
+            outcome — this path only fires for genuinely hung or
+            crashed workers, so fault-free campaigns never enter it and
+            stay bit-identical to sequential execution.
+            """
+            while True:
+                try:
+                    return item.future.result(timeout=wait_budget)
+                except FutureTimeoutError:
+                    registry.counter("campaign_run_timeouts_total").inc()
+                    breaker.record_failure("hung run", item.scheduled.key)
+                    supervisor.rebuild("hung run")  # breaker-gated
+                    item.kills += 1
+                    reschedule_in_flight(item)
+                    error: Exception = RunTimeoutError(
+                        "run exceeded its supervision deadline "
+                        f"({wait_budget:.1f}s) without yielding; worker "
+                        f"killed", budget_s=wait_budget)
+                except (CancelledError, *POOL_CRASH_ERRORS) as crash:
+                    breaker.record_failure("worker crash",
+                                           item.scheduled.key)
+                    # Rebuild unconditionally: rescheduling the in-flight
+                    # keys is only safe against a freshly killed pool.
+                    supervisor.rebuild("worker crash")  # breaker-gated
+                    item.kills += 1
+                    reschedule_in_flight(item)
+                    error = WorkerCrashError(
+                        "worker died abnormally mid-run "
+                        f"({type(crash).__name__}); the oldest in-flight "
+                        "run is blamed")
+                if item.kills > policy.max_retries:
+                    self._supervision_quarantine(item, error, checkpoint,
+                                                 result, obs)
+                    return None
+                registry.counter("campaign_run_retries_total").inc()
+                registry.counter("campaign_runs_retried_total").inc()
+                progress.run_retried(item.scheduled.key, 1)
+                resubmit(item)
+
+        def drain_one() -> None:
+            item = pending.popleft()
+            scheduled = item.scheduled
+            result.scheduled += 1
+            registry.counter("campaign_runs_scheduled_total").inc()
+            if item.future is None:  # checkpointed: restore in-parent
+                entry = restored[scheduled.key]
+                restored_run = self._restore_span(entry, scheduled, obs)
+                if restored_run is not None:
+                    result.add(restored_run)
+                    registry.counter(
+                        "campaign_runs_completed_total").inc()
+                    registry.counter(
+                        "campaign_runs_restored_total").inc()
+                    progress.run_restored(scheduled.key)
+                    breaker.record_success()
+                    return
+                # Unrestorable (corrupt or trace-less entry):
+                # re-execute in-process, exactly like sequential.
+                if self._execute(scheduled, self.run_fn or run_once,
+                                 test_device, policy, checkpoint,
+                                 result, obs):
+                    breaker.record_success()
+                else:
+                    breaker.record_failure("quarantine", scheduled.key)
+                return
+            outcome = supervise(item)
+            if outcome is None:
+                return  # supervision already quarantined the run
+            self._merge_worker_outcome(scheduled, outcome, checkpoint,
+                                       result, obs, campaign_span, breaker)
+
         try:
             with obs.tracer.span(
                     "campaign", seed=self.config.seed,
                     operators=",".join(p.name for p in self.profiles),
                     scheduled=len(schedule), workers=workers) as campaign_span:
-                pending: deque[tuple[ScheduledRun, Future | None]] = deque()
-
-                def drain_one() -> None:
-                    scheduled, future = pending.popleft()
-                    result.scheduled += 1
-                    registry.counter("campaign_runs_scheduled_total").inc()
-                    if future is None:  # checkpointed: restore in-parent
-                        entry = restored[scheduled.key]
-                        restored_run = self._restore_span(entry, scheduled,
-                                                          obs)
-                        if restored_run is not None:
-                            result.add(restored_run)
-                            registry.counter(
-                                "campaign_runs_completed_total").inc()
-                            registry.counter(
-                                "campaign_runs_restored_total").inc()
-                            progress.run_restored(scheduled.key)
-                            return
-                        # Unrestorable (corrupt or trace-less entry):
-                        # re-execute in-process, exactly like sequential.
-                        self._execute(scheduled, self.run_fn or run_once,
-                                      test_device, policy, checkpoint,
-                                      result, obs)
-                        return
-                    self._merge_worker_outcome(scheduled, future.result(),
-                                               checkpoint, result, obs,
-                                               campaign_span)
-
                 for scheduled in schedule:
                     entry = restored.get(scheduled.key)
                     if entry is not None and entry.succeeded:
-                        pending.append((scheduled, None))
+                        pending.append(_Pending(scheduled=scheduled))
                     else:
                         task = _WorkerTask(
                             key=scheduled.key, profile=scheduled.profile,
@@ -505,29 +684,113 @@ class CampaignRunner:
                             device_name=self.config.device_name,
                             duration_s=self.config.duration_s,
                             keep_trace=keep_trace, policy=policy,
-                            instrument=instrument)
-                        pending.append(
-                            (scheduled,
-                             pool.submit(_execute_worker_task, task)))
+                            instrument=instrument,
+                            run_timeout_s=run_timeout)
+                        item = _Pending(scheduled=scheduled, task=task)
+                        resubmit(item)
+                        pending.append(item)
                     while len(pending) >= window:
                         drain_one()
                 while pending:
                     drain_one()
-            pool.shutdown()
+            supervisor.shutdown()
+        except (KeyboardInterrupt, ShutdownRequested):
+            # Graceful stop: merge the head futures that already
+            # finished (bounded by shutdown_grace_s) so their outcomes
+            # reach the checkpoint, then kill whatever is still running
+            # — shutdown(wait=True) could block on a hung run forever.
+            self._drain_on_shutdown(pending, checkpoint, result, obs,
+                                    campaign_span, breaker)
+            supervisor.kill()
+            raise
         except BaseException:
-            # Interrupt/crash: abandon queued runs so Ctrl-C flushes the
-            # telemetry promptly instead of waiting out the backlog.
-            pool.shutdown(wait=False, cancel_futures=True)
+            # Breaker trip / crash: abandon queued runs so the failure
+            # surfaces promptly instead of waiting out the backlog.
+            supervisor.kill()
             raise
         finally:
             progress.campaign_finished()
         return result
 
+    def _supervision_quarantine(self, item: _Pending, error: Exception,
+                                checkpoint: CampaignCheckpoint | None,
+                                result: CampaignResult,
+                                obs: Instrumentation) -> None:
+        """Quarantine a run the supervisor gave up on (parent-side).
+
+        Mirrors the worker-side quarantine accounting so
+        :meth:`CampaignResult.reconciles` and the exported counters stay
+        consistent whichever side declared the run dead.
+        """
+        scheduled = item.scheduled
+        registry, progress = obs.registry, obs.progress
+        timed_out = isinstance(error, RunTimeoutError)
+        with obs.tracer.span("run", operator=scheduled.profile.name,
+                             area=scheduled.deployment.area.name,
+                             location=scheduled.location_name,
+                             run_index=scheduled.run_index,
+                             supervised=True) as span:
+            span.set_attribute("attempts", item.kills)
+            span.set_attribute("outcome", "quarantined")
+            if timed_out:
+                span.set_attribute("timed_out", True)
+        quarantined = QuarantinedRun(
+            *scheduled.key, error=f"{type(error).__name__}: {error}",
+            attempts=item.kills)
+        registry.counter("campaign_runs_quarantined_total").inc()
+        result.quarantine(quarantined)
+        if timed_out:
+            progress.run_timed_out(scheduled.key)
+        else:
+            progress.run_quarantined(scheduled.key)
+        if checkpoint is not None:
+            checkpoint.record_failure(scheduled.key, quarantined.error,
+                                      item.kills)
+
+    def _drain_on_shutdown(self, pending: deque[_Pending],
+                           checkpoint: CampaignCheckpoint | None,
+                           result: CampaignResult, obs: Instrumentation,
+                           campaign_span, breaker: CircuitBreaker) -> None:
+        """Merge already-finished head futures before a graceful stop.
+
+        Walks the schedule-order queue head while the head future is
+        (or becomes, within the remaining ``shutdown_grace_s``) done, so
+        completed in-flight work lands in the checkpoint instead of
+        being re-simulated on resume.  Restored (checkpointed) heads are
+        simply dropped — resume restores them again for free.  Stops at
+        the first unfinished head: merging past it would break the
+        schedule-order contract.
+        """
+        registry = obs.registry
+        deadline_s = time.monotonic() + max(0.0, self.config.shutdown_grace_s)
+        while pending:
+            item = pending[0]
+            if item.future is None:
+                pending.popleft()
+                continue
+            remaining = deadline_s - time.monotonic()
+            if remaining <= 0 and not item.future.done():
+                break
+            try:
+                outcome = item.future.result(timeout=max(0.0, remaining))
+            except BaseException:  # hung, crashed or cancelled: give up
+                break
+            pending.popleft()
+            result.scheduled += 1
+            registry.counter("campaign_runs_scheduled_total").inc()
+            try:
+                self._merge_worker_outcome(item.scheduled, outcome,
+                                           checkpoint, result, obs,
+                                           campaign_span, breaker)
+            except Exception:  # never mask the shutdown being handled
+                break
+
     def _merge_worker_outcome(self, scheduled: ScheduledRun,
                               outcome: _WorkerOutcome,
                               checkpoint: CampaignCheckpoint | None,
                               result: CampaignResult, obs: Instrumentation,
-                              campaign_span) -> None:
+                              campaign_span,
+                              breaker: CircuitBreaker | None = None) -> None:
         """Fold one worker payload into the parent, in schedule order."""
         registry, progress = obs.registry, obs.progress
         if outcome.metrics is not None:
@@ -539,11 +802,16 @@ class CampaignRunner:
             progress.run_retried(scheduled.key, outcome.retries)
         if outcome.quarantined is not None:
             result.quarantine(outcome.quarantined)
-            progress.run_quarantined(scheduled.key)
+            if outcome.timed_out:
+                progress.run_timed_out(scheduled.key)
+            else:
+                progress.run_quarantined(scheduled.key)
             if checkpoint is not None:
                 checkpoint.record_failure(scheduled.key,
                                           outcome.quarantined.error,
                                           outcome.attempts)
+            if breaker is not None:
+                breaker.record_failure("quarantine", scheduled.key)
             return
         run_result = outcome.run_result
         if checkpoint is not None:
@@ -555,17 +823,44 @@ class CampaignRunner:
             run_result.trace = None
         result.add(run_result)
         progress.run_completed(scheduled.key)
+        if breaker is not None:
+            breaker.record_success()
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
+    def campaign_identity(self) -> str:
+        """Hash of everything that defines this campaign's schedule.
+
+        Written into the checkpoint's v1 header so resuming against a
+        checkpoint from a different campaign (other seed, operators,
+        schedule shape, device or duration) is rejected instead of
+        silently merged.  Deliberately excludes execution knobs that do
+        not change the results — ``workers``, retries, timeouts — so a
+        checkpoint written sequentially resumes under a pool and vice
+        versa.
+        """
+        config = self.config
+        areas = "*" if config.area_names is None \
+            else ",".join(sorted(config.area_names))
+        return format(_run_seed(
+            "campaign-v1", config.seed, config.device_name,
+            config.duration_s, config.runs_per_location,
+            config.a1_runs_per_location, config.locations_per_area,
+            config.a1_locations, areas,
+            ",".join(profile.name for profile in self.profiles)), "08x")
+
     def _open_checkpoint(self) -> tuple[CampaignCheckpoint | None,
                                         dict[RunKey, CheckpointEntry]]:
         if self.config.checkpoint_path is None:
             return None, {}
-        checkpoint = CampaignCheckpoint(self.config.checkpoint_path)
+        checkpoint = CampaignCheckpoint(self.config.checkpoint_path,
+                                        identity=self.campaign_identity(),
+                                        fsync=self.config.checkpoint_fsync)
         if self.config.resume:
+            # Raises CheckpointMismatchError when the file's header
+            # identity names a different campaign.
             return checkpoint, checkpoint.load()
         # A fresh (non-resumed) campaign must not inherit stale entries.
         checkpoint.path.unlink(missing_ok=True)
@@ -573,33 +868,47 @@ class CampaignRunner:
 
     def _execute(self, scheduled: ScheduledRun, run_fn, test_device,
                  policy: RetryPolicy, checkpoint: CampaignCheckpoint | None,
-                 result: CampaignResult, obs: Instrumentation) -> None:
-        """One run through the retry loop: add, checkpoint or quarantine."""
+                 result: CampaignResult, obs: Instrumentation) -> bool:
+        """One run through the retry loop: add, checkpoint or quarantine.
+
+        Returns True when the run completed, False when it quarantined
+        (the caller feeds that into the circuit breaker).
+        """
         keep_trace = self.config.keep_traces or checkpoint is not None
         registry, progress = obs.registry, obs.progress
+        run_timeout = self.config.run_timeout_s
+
+        def attempt() -> RunResult:
+            with deadline_scope(run_timeout):
+                value = run_fn(scheduled.deployment, scheduled.profile,
+                               test_device, scheduled.point,
+                               scheduled.location_name, scheduled.run_index,
+                               duration_s=self.config.duration_s,
+                               keep_trace=keep_trace)
+                check_deadline("run")
+                return value
+
         with obs.tracer.span("run", operator=scheduled.profile.name,
                              area=scheduled.deployment.area.name,
                              location=scheduled.location_name,
                              run_index=scheduled.run_index) as span:
-            outcome = execute_with_retry(
-                lambda: run_fn(scheduled.deployment, scheduled.profile,
-                               test_device, scheduled.point,
-                               scheduled.location_name, scheduled.run_index,
-                               duration_s=self.config.duration_s,
-                               keep_trace=keep_trace),
-                policy, key=scheduled.key, sleep=self.sleep)
-            run_result, quarantined, retries = _finish_outcome(
+            outcome = execute_with_retry(attempt, policy, key=scheduled.key,
+                                         sleep=self.sleep)
+            run_result, quarantined, retries, timed_out = _finish_outcome(
                 outcome, scheduled.key, span, registry)
             if retries:
                 progress.run_retried(scheduled.key, retries)
             if quarantined is not None:
                 result.quarantine(quarantined)
-                progress.run_quarantined(scheduled.key)
+                if timed_out:
+                    progress.run_timed_out(scheduled.key)
+                else:
+                    progress.run_quarantined(scheduled.key)
                 if checkpoint is not None:
                     checkpoint.record_failure(scheduled.key,
                                               quarantined.error,
                                               outcome.attempts)
-                return
+                return False
             if checkpoint is not None:
                 # A custom run_fn may drop the trace even when asked to
                 # keep it; record a trace-less success so resume still
@@ -613,6 +922,7 @@ class CampaignRunner:
                 run_result.trace = None
             result.add(run_result)
             progress.run_completed(scheduled.key)
+            return True
 
     def _restore_span(self, entry: CheckpointEntry, scheduled: ScheduledRun,
                       obs: Instrumentation) -> RunResult | None:

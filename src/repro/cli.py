@@ -6,11 +6,16 @@ Five subcommands mirror the reproduction's main workflows::
         Run a scaled measurement campaign and print the summary report.
         Supports per-run retries (--max-retries), checkpointing
         (--checkpoint) and resuming an interrupted campaign (--resume).
+        Supervision: ``--run-timeout`` gives every run a wall-clock
+        budget (hung pool workers are killed and their keys retried or
+        quarantined), ``--breaker-rebuilds`` / ``--breaker-failures``
+        bound recovery before the campaign fails fast, and
+        ``--no-fsync`` trades checkpoint durability for throughput.
         Observability: ``--metrics-out metrics.json`` (or ``.prom`` for
         Prometheus text), ``--trace-out spans.jsonl`` and ``--progress``
-        (live stderr status line); on Ctrl-C a final metrics/progress
-        snapshot is flushed before the resume hint, so interrupted
-        campaigns stay accountable.
+        (live stderr status line); on Ctrl-C *or SIGTERM* a final
+        metrics/progress snapshot is flushed before the resume hint, so
+        interrupted campaigns stay accountable.
 
     python -m repro analyze trace.jsonl [--errors recover]
         Analyse a saved signaling trace (loop detection, classification,
@@ -57,7 +62,13 @@ from repro.obs import (
     make_instrumentation,
 )
 from repro.obs.profile import run_profile
+from repro.resilience.checkpoint import CheckpointMismatchError
 from repro.resilience.faults import FAULT_KINDS, FaultInjector
+from repro.resilience.supervision import (
+    CircuitBreakerOpen,
+    ShutdownRequested,
+    graceful_shutdown,
+)
 from repro.traces.parser import TraceParseError, parse_trace
 
 
@@ -88,7 +99,20 @@ def _add_campaign_parser(subparsers) -> None:
     parser.add_argument("--seed", type=int, default=0,
                         help="campaign seed (locations, retry jitter; "
                              "default 0)")
+    parser.add_argument("--no-fsync", action="store_true",
+                        help="skip the per-append fsync on the checkpoint "
+                             "(faster, but an acknowledged run may not "
+                             "survive power loss)")
+    parser.add_argument("--breaker-rebuilds", type=int, default=3,
+                        metavar="N",
+                        help="worker-pool rebuilds tolerated before the "
+                             "campaign fails fast (default 3)")
+    parser.add_argument("--breaker-failures", type=int, default=0,
+                        metavar="N",
+                        help="consecutive run failures before the campaign "
+                             "fails fast (default 0 = disabled)")
     _add_workers_flag(parser)
+    _add_run_timeout_flag(parser)
     _add_observability_flags(parser)
 
 
@@ -97,6 +121,14 @@ def _add_workers_flag(parser) -> None:
                         help="run the campaign over N worker processes "
                              "(results are bit-identical to --workers 1 "
                              "for the same seed; default 1)")
+
+
+def _add_run_timeout_flag(parser) -> None:
+    parser.add_argument("--run-timeout", type=float, default=None,
+                        metavar="SECONDS", dest="run_timeout",
+                        help="wall-clock budget per run; a run that blows "
+                             "it is retried/quarantined as a timeout, and "
+                             "hung pool workers are killed and respawned")
 
 
 def _add_observability_flags(parser) -> None:
@@ -177,6 +209,7 @@ def _add_profile_parser(subparsers) -> None:
     parser.add_argument("--max-retries", type=int, default=0,
                         help="retries per failed run (default 0)")
     _add_workers_flag(parser)
+    _add_run_timeout_flag(parser)
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="also write the metrics snapshot here (JSON, "
                              "or Prometheus text for .prom/.txt paths)")
@@ -256,25 +289,46 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         resume=args.resume,
         workers=args.workers,
+        run_timeout_s=args.run_timeout,
+        checkpoint_fsync=not args.no_fsync,
+        breaker_max_rebuilds=args.breaker_rebuilds,
+        breaker_max_consecutive_failures=args.breaker_failures,
     )
     obs = _build_instrumentation(args)
     try:
-        result = CampaignRunner(profiles, config, obs=obs).run()
-    except KeyboardInterrupt:
+        with graceful_shutdown():
+            result = CampaignRunner(profiles, config, obs=obs).run()
+    except (KeyboardInterrupt, ShutdownRequested) as stop:
         # Flush what the interrupted campaign did accomplish *before*
-        # the resume hint, so partial runs are accountable.
+        # the resume hint, so partial runs are accountable.  SIGTERM
+        # gets the same drain-flush-resume treatment as Ctrl-C.
         _flush_observability(obs, args)
         _final_progress_snapshot(obs)
-        if args.checkpoint:
-            print(f"interrupted; resume with --checkpoint {args.checkpoint} "
-                  f"--resume", file=sys.stderr)
-        else:
-            print("interrupted (no checkpoint; rerun with --checkpoint to "
-                  "make campaigns resumable)", file=sys.stderr)
-        return 130
+        _print_resume_hint(args, "interrupted")
+        return 143 if isinstance(stop, ShutdownRequested) else 130
+    except CircuitBreakerOpen as error:
+        # The failure pattern looked systemic; surface the breaker's
+        # diagnostic summary and where to resume once it is fixed.
+        _flush_observability(obs, args)
+        _final_progress_snapshot(obs)
+        print(f"error: {error}", file=sys.stderr)
+        _print_resume_hint(args, "stopped early")
+        return 1
+    except CheckpointMismatchError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     _flush_observability(obs, args)
     print(campaign_report(result))
     return 0
+
+
+def _print_resume_hint(args: argparse.Namespace, what: str) -> None:
+    if args.checkpoint:
+        print(f"{what}; resume with --checkpoint {args.checkpoint} "
+              f"--resume", file=sys.stderr)
+    else:
+        print(f"{what} (no checkpoint; rerun with --checkpoint to "
+              "make campaigns resumable)", file=sys.stderr)
 
 
 def _read_trace_text(path_arg: str) -> str | None:
@@ -350,6 +404,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         max_retries=args.max_retries,
         workers=args.workers,
+        run_timeout_s=args.run_timeout,
     )
     _flush_observability(report.obs, args)
     print(report.summary())

@@ -1,0 +1,122 @@
+"""Cooperative per-run wall-clock deadlines.
+
+A campaign run is given a wall-clock budget (``CampaignConfig.
+run_timeout_s``).  Inside one process the budget is enforced
+*cooperatively*: the runner opens a :func:`deadline_scope` around each
+attempt, and the pipeline calls :func:`check_deadline` between stages,
+raising :class:`RunTimeoutError` as soon as the budget is exhausted.
+The error is an ordinary ``Exception``, so it flows through the
+existing retry/quarantine machinery like any other run failure.
+
+Cooperative checks cannot interrupt a stage that never returns; that
+case is handled one level up by the process-pool supervisor
+(:mod:`repro.resilience.supervision`), which kills and respawns hung
+workers on a parent-side future deadline.
+
+This module lives in ``repro.core`` (not ``repro.resilience``) so the
+pipeline can import it without pulling in the resilience package, whose
+``__init__`` reaches back into the campaign layer.  Like
+:mod:`repro.obs.context`, the active deadline is ambient state: hot
+paths pay a module-global read and a ``None`` check when no deadline
+is set.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+__all__ = [
+    "Deadline",
+    "RunTimeoutError",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+]
+
+
+class RunTimeoutError(RuntimeError):
+    """A run exceeded its wall-clock budget.
+
+    Raised by cooperative :func:`check_deadline` calls between pipeline
+    stages (carrying the stage that detected the overrun), and used by
+    the pool supervisor to label runs whose worker had to be killed.
+    """
+
+    def __init__(self, message: str, *, budget_s: float | None = None,
+                 elapsed_s: float | None = None, stage: str | None = None):
+        super().__init__(message)
+        self.budget_s = budget_s
+        self.elapsed_s = elapsed_s
+        self.stage = stage
+
+
+class Deadline:
+    """One wall-clock budget, armed at construction time."""
+
+    __slots__ = ("budget_s", "clock", "started_s")
+
+    def __init__(self, budget_s: float,
+                 clock: Callable[[], float] = time.monotonic):
+        if budget_s <= 0:
+            raise ValueError("deadline budget must be positive")
+        self.budget_s = budget_s
+        self.clock = clock
+        self.started_s = clock()
+
+    def elapsed_s(self) -> float:
+        return self.clock() - self.started_s
+
+    def remaining_s(self) -> float:
+        return self.budget_s - self.elapsed_s()
+
+    def expired(self) -> bool:
+        return self.remaining_s() <= 0.0
+
+    def check(self, stage: str = "") -> None:
+        """Raise :class:`RunTimeoutError` if the budget is exhausted."""
+        elapsed = self.elapsed_s()
+        if elapsed <= self.budget_s:
+            return
+        where = f" at stage '{stage}'" if stage else ""
+        raise RunTimeoutError(
+            f"run exceeded its {self.budget_s:g}s wall-clock budget"
+            f"{where} ({elapsed:.3f}s elapsed)",
+            budget_s=self.budget_s, elapsed_s=elapsed, stage=stage or None)
+
+
+#: The ambient deadline cooperative checks test against (None = no budget).
+_active: Deadline | None = None
+
+
+def current_deadline() -> Deadline | None:
+    """The deadline in effect for the code running right now, if any."""
+    return _active
+
+
+@contextmanager
+def deadline_scope(budget_s: float | None,
+                   clock: Callable[[], float] = time.monotonic,
+                   ) -> Iterator[Deadline | None]:
+    """Arm a deadline for the duration of the block (re-entrant).
+
+    ``budget_s=None`` installs nothing, so callers can pass the config
+    knob straight through without branching.
+    """
+    global _active
+    if budget_s is None:
+        yield None
+        return
+    previous = _active
+    _active = deadline = Deadline(budget_s, clock=clock)
+    try:
+        yield deadline
+    finally:
+        _active = previous
+
+
+def check_deadline(stage: str = "") -> None:
+    """Cooperative checkpoint: no-op without an armed deadline."""
+    if _active is not None:
+        _active.check(stage)

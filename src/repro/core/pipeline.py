@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.cells.cell import CellIdentity, Rat
 from repro.core.cellset import CellSet, CellSetInterval, extract_cellset_sequence
+from repro.core.deadline import check_deadline
 from repro.core.classify import LoopSubtype, OffTransition, classify_loop
 from repro.core.loops import LoopDetection, LoopKind, detect_loop
 from repro.core.metrics import (
@@ -125,7 +126,10 @@ def analyze_trace(trace: SignalingTrace) -> RunAnalysis:
     Each stage reports a ``stage_seconds`` timer and a span into the
     active instrumentation (see :mod:`repro.obs`); with the default
     no-op bundle these are empty calls and the stage structure is
-    unchanged.
+    unchanged.  Between stages the ambient run deadline is checked
+    cooperatively (see :mod:`repro.core.deadline`), so a run that blows
+    its wall-clock budget raises :class:`RunTimeoutError` at the next
+    stage boundary instead of running to completion.
     """
     obs = get_instrumentation()
     registry = obs.registry
@@ -136,17 +140,21 @@ def analyze_trace(trace: SignalingTrace) -> RunAnalysis:
         end_time = trace.records[-1].time_s if trace.records else 0.0
         with registry.timer("stage_seconds", stage="extract_cellsets"):
             intervals = extract_cellset_sequence(records, end_time_s=end_time)
+        check_deadline("extract_cellsets")
         with registry.timer("stage_seconds", stage="detect_loop"):
             detection = detect_loop(intervals)
+        check_deadline("detect_loop")
         with registry.timer("stage_seconds", stage="classify"):
             if detection.is_loop:
                 subtype, transitions = classify_loop(records, intervals)
             else:
                 subtype, transitions = LoopSubtype.UNKNOWN, []
+        check_deadline("classify")
         with registry.timer("stage_seconds", stage="loop_metrics"):
             cycles = loop_cycles(intervals) if detection.is_loop else []
             performance = run_performance(intervals,
                                           trace.throughput_series())
+        check_deadline("loop_metrics")
 
         analysis = RunAnalysis(
             metadata=trace.metadata,

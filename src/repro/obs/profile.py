@@ -85,10 +85,20 @@ class ProfileReport:
             "campaign_runs_quarantined_total").total()
         retries = registry.counter("campaign_run_retries_total").total()
         loops = registry.counter("pipeline_loops_detected_total").total()
+        timeouts = registry.counter("campaign_run_timeouts_total").total()
+        rebuilds = registry.counter("campaign_pool_rebuilds_total").total()
+        rescheduled = registry.counter(
+            "campaign_runs_rescheduled_total").total()
+        breaker_trips = registry.counter(
+            "campaign_breaker_trips_total").total()
+        skipped = registry.counter("checkpoint_lines_skipped_total").total()
         lines = [
             f"runs: {scheduled:g} scheduled, {completed:g} completed, "
             f"{quarantined:g} quarantined, {retries:g} retries",
             f"loops detected: {loops:g}",
+            f"supervision: {timeouts:g} timeouts, {rebuilds:g} pool "
+            f"rebuilds, {rescheduled:g} rescheduled, {breaker_trips:g} "
+            f"breaker trips, {skipped:g} checkpoint lines skipped",
             "",
             stage_table(registry),
             "",
@@ -107,6 +117,7 @@ def run_profile(seed: int = 42,
                 device_name: str = "OnePlus 12R",
                 max_retries: int = 0,
                 workers: int = 1,
+                run_timeout_s: float | None = None,
                 clock: Callable[[], float] = time.monotonic,
                 ) -> ProfileReport:
     """Run the instrumented mini-campaign behind ``repro profile``."""
@@ -126,6 +137,7 @@ def run_profile(seed: int = 42,
         seed=seed,
         max_retries=max_retries,
         workers=workers,
+        run_timeout_s=run_timeout_s,
     )
     obs = make_instrumentation(clock=clock)
     result = CampaignRunner(profiles, config, obs=obs).run()

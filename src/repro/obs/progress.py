@@ -7,7 +7,11 @@ accountable while it runs, not only after.  The default is the inert
 :data:`NULL_PROGRESS`; the CLI's ``--progress`` flag swaps in
 :class:`StderrProgressReporter`, which redraws a single status line::
 
-    [  42/120]  35.0%  ok=40 quarantined=2 restored=0 retries=3  2.1 run/s eta 37s
+    [  42/120]  35.0%  ok=40 quarantined=1 timeout=1 restored=0 retries=3  2.1 run/s eta 37s
+
+Timed-out runs get their own tally (they are quarantined too, but a
+deadline miss is operationally different from a crash or a parse
+failure, so the two must not collapse into one "failed" number).
 
 Rates come from the injectable monotonic clock, so tests drive the
 reporter with a fake clock and assert exact output.
@@ -43,6 +47,10 @@ class ProgressReporter:
     def run_quarantined(self, key: tuple) -> None:
         return None
 
+    def run_timed_out(self, key: tuple) -> None:
+        """A run quarantined because it blew its wall-clock budget."""
+        return None
+
     def run_restored(self, key: tuple) -> None:
         return None
 
@@ -74,6 +82,7 @@ class StderrProgressReporter(ProgressReporter):
         self.total = 0
         self.completed = 0
         self.quarantined = 0
+        self.timed_out = 0
         self.restored = 0
         self.retries = 0
         self._start_s: float | None = None
@@ -93,6 +102,10 @@ class StderrProgressReporter(ProgressReporter):
 
     def run_quarantined(self, key: tuple) -> None:
         self.quarantined += 1
+        self._draw()
+
+    def run_timed_out(self, key: tuple) -> None:
+        self.timed_out += 1
         self._draw()
 
     def run_restored(self, key: tuple) -> None:
@@ -115,8 +128,8 @@ class StderrProgressReporter(ProgressReporter):
 
     @property
     def done(self) -> int:
-        """Runs with a final outcome (completed or quarantined)."""
-        return self.completed + self.quarantined
+        """Runs with a final outcome (completed, quarantined, timed out)."""
+        return self.completed + self.quarantined + self.timed_out
 
     def elapsed_s(self) -> float:
         if self._start_s is None:
@@ -142,6 +155,7 @@ class StderrProgressReporter(ProgressReporter):
             "done": self.done,
             "completed": self.completed,
             "quarantined": self.quarantined,
+            "timed_out": self.timed_out,
             "restored": self.restored,
             "retries": self.retries,
             "elapsed_s": self.elapsed_s(),
@@ -153,6 +167,7 @@ class StderrProgressReporter(ProgressReporter):
         width = len(str(self.total))
         line = (f"[{self.done:{width}d}/{self.total}] {percent:5.1f}%  "
                 f"ok={self.completed} quarantined={self.quarantined} "
+                f"timeout={self.timed_out} "
                 f"restored={self.restored} retries={self.retries}")
         rate = self.rate_per_s()
         if rate > 0.0:

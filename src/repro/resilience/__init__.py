@@ -17,6 +17,9 @@ pipeline layers share:
   that corrupts serialized traces the way real captures go bad.
 * :mod:`repro.resilience.chaos` — the chaos harness running the full
   campaign→analyze pipeline under injected faults.
+* :mod:`repro.resilience.supervision` — run deadlines, hung/crashed
+  worker containment (kill-and-respawn, circuit breaker) and graceful
+  SIGTERM shutdown for the campaign engine.
 """
 
 from repro.resilience.chaos import (
@@ -30,6 +33,8 @@ from repro.resilience.chaos import (
 from repro.resilience.checkpoint import (
     CampaignCheckpoint,
     CheckpointEntry,
+    CheckpointLoadReport,
+    CheckpointMismatchError,
     RunKey,
 )
 from repro.resilience.errors import (
@@ -52,6 +57,20 @@ from repro.resilience.retry import (
     RetryPolicy,
     execute_with_retry,
 )
+from repro.resilience.supervision import (
+    CircuitBreaker,
+    CircuitBreakerOpen,
+    Deadline,
+    PoolSupervisor,
+    RunTimeoutError,
+    ShutdownRequested,
+    WorkerCrashError,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+    graceful_shutdown,
+    parent_wait_budget,
+)
 
 __all__ = [
     "AttemptOutcome",
@@ -61,6 +80,11 @@ __all__ = [
     "ChaosReport",
     "ChaosRunError",
     "CheckpointEntry",
+    "CheckpointLoadReport",
+    "CheckpointMismatchError",
+    "CircuitBreaker",
+    "CircuitBreakerOpen",
+    "Deadline",
     "FAULT_KINDS",
     "FaultEvent",
     "FaultInjector",
@@ -69,13 +93,22 @@ __all__ = [
     "MalformedRecordError",
     "OutOfOrderRecordError",
     "ParseReport",
+    "PoolSupervisor",
     "QuarantinedLine",
     "RetryPolicy",
     "RunKey",
+    "RunTimeoutError",
+    "ShutdownRequested",
     "SimulatedInterrupt",
     "TraceDecodeError",
     "TraceParseError",
     "UnknownRecordKindError",
+    "WorkerCrashError",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
     "execute_with_retry",
+    "graceful_shutdown",
+    "parent_wait_budget",
     "run_chaos_campaign",
 ]
