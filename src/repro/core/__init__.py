@@ -13,7 +13,7 @@ from repro.core.cellset import (
     extract_cellset_sequence,
     five_g_timeline,
 )
-from repro.core.loops import LoopDetection, LoopKind, detect_loop
+from repro.core.loops import LoopDetection, LoopKind, detect_loop, loop_window
 from repro.core.classify import LoopSubtype, classify_loop, classify_off_transition
 from repro.core.metrics import CycleMetrics, RunPerformance, loop_cycles, run_performance
 from repro.core.pipeline import RunAnalysis, analyze_trace
@@ -45,6 +45,7 @@ __all__ = [
     "five_g_timeline",
     "logistic_usage",
     "loop_cycles",
+    "loop_window",
     "run_performance",
     "s1e3_probability",
 ]

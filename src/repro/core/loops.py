@@ -2,19 +2,30 @@
 
 A loop exists when a subsequence of serving cell sets containing both a
 5G-ON and a 5G-OFF set repeats twice or more.  The loop is *persistent*
-if the run ends inside the loop (the final cell set belongs to the loop
-subsequence) and *semi-persistent* if the sequence later leaves the
-loop.
+if the run ends inside the periodic region — the complete repetitions,
+plus any partial-block tail that is a prefix of the block, extend to
+the very end of the deduplicated sequence — and *semi-persistent* if
+the sequence later leaves the loop.
 
 Detection scans the deduplicated cell set sequence for the earliest,
 shortest periodic block; the reported block is rotated to the canonical
 phase (starting at a 5G-ON set that follows a 5G-OFF one), matching the
 paper's "starts with 5G ON, ends with 5G OFF" presentation.
+
+The scan is built for campaign-scale sequences: cell sets are interned
+to small integers once per run, and each candidate start is tested with
+a single Z-array (longest-common-prefix) pass over its suffix, so every
+(start, period) pair costs O(1) after O(n) preparation per start.
+Candidate starts whose cell set never recurs at a feasible period are
+skipped outright via per-symbol occurrence lists, which makes the scan
+near-linear on real traces (the naive slice-comparing scan is
+O(n^3)-O(n^4) on the same input).
 """
 
 from __future__ import annotations
 
 import enum
+from bisect import bisect_right
 from dataclasses import dataclass
 
 from repro.core.cellset import CellSet, CellSetInterval
@@ -65,12 +76,6 @@ def dedup_sequence(intervals: list[CellSetInterval]) -> list[CellSet]:
     return sequence
 
 
-def _block_has_both_states(block: list[CellSet]) -> bool:
-    has_on = any(cellset.five_g_on for cellset in block)
-    has_off = any(not cellset.five_g_on for cellset in block)
-    return has_on and has_off
-
-
 def _canonical_rotation(block: list[CellSet]) -> tuple[CellSet, ...]:
     """Rotate the block to start at an ON set preceded (cyclically) by OFF."""
     n = len(block)
@@ -82,16 +87,44 @@ def _canonical_rotation(block: list[CellSet]) -> tuple[CellSet, ...]:
     return tuple(block)
 
 
-def _count_repetitions(sequence: list[CellSet], start: int, period: int) -> int:
-    """Complete repetitions of sequence[start:start+period] from ``start``."""
-    block = sequence[start:start + period]
-    repetitions = 0
-    position = start
-    while position + period <= len(sequence) and \
-            sequence[position:position + period] == block:
-        repetitions += 1
-        position += period
-    return repetitions
+def _intern(sequence: list[CellSet]) -> tuple[list[int], list[int]]:
+    """Map each distinct cell set to a small integer, once per run.
+
+    Returns the interned sequence and a prefix-sum table of 5G-ON flags
+    (``on_prefix[i]`` = number of ON sets among the first ``i``
+    elements), so any block's state mix is an O(1) lookup.
+    """
+    codes: dict[CellSet, int] = {}
+    flags: dict[CellSet, int] = {}
+    interned: list[int] = []
+    on_prefix: list[int] = [0]
+    for cellset in sequence:
+        code = codes.get(cellset)
+        if code is None:
+            code = len(codes)
+            codes[cellset] = code
+            flags[cellset] = 1 if cellset.five_g_on else 0
+        interned.append(code)
+        on_prefix.append(on_prefix[-1] + flags[cellset])
+    return interned, on_prefix
+
+
+def _z_array(seq: list[int]) -> list[int]:
+    """Z-array: ``z[i]`` = length of the longest common prefix of
+    ``seq`` and ``seq[i:]`` (the classic linear-time scan)."""
+    n = len(seq)
+    z = [0] * n
+    if n:
+        z[0] = n
+    left = right = 0
+    for i in range(1, n):
+        k = min(right - i, z[i - left]) if i < right else 0
+        while i + k < n and seq[k] == seq[i + k]:
+            k += 1
+        z[i] = k
+        if i + k > right:
+            left, right = i, i + k
+    return z
 
 
 def detect_loop(intervals: list[CellSetInterval],
@@ -100,24 +133,83 @@ def detect_loop(intervals: list[CellSetInterval],
 
     Scans for the earliest start index, then the shortest period, whose
     block repeats at least ``min_repetitions`` times and visits both 5G
-    states.  Persistence follows the paper's rule: the run's final cell
-    set must belong to the loop subsequence.
+    states.  Persistence follows the paper's rule: the periodic region
+    (complete repetitions plus a partial-block tail that is a prefix of
+    the block) must extend to the end of the run.
     """
     sequence = dedup_sequence(intervals)
     n = len(sequence)
+    if n < 2 * min_repetitions:
+        return LoopDetection(kind=LoopKind.NO_LOOP)
+    interned, on_prefix = _intern(sequence)
+    # Occurrence lists let us skip starts whose symbol never recurs at a
+    # feasible period (a block of period p repeating means the start
+    # symbol recurs exactly p positions later).
+    occurrences: dict[int, list[int]] = {}
+    for index, code in enumerate(interned):
+        occurrences.setdefault(code, []).append(index)
     for start in range(n):
         max_period = (n - start) // min_repetitions
+        if max_period < 2:
+            break
+        positions = occurrences[interned[start]]
+        next_at = bisect_right(positions, start + 1)
+        if next_at >= len(positions) or \
+                positions[next_at] - start > max_period:
+            continue
+        z = _z_array(interned[start:])
         for period in range(2, max_period + 1):
-            block = sequence[start:start + period]
-            if not _block_has_both_states(block):
+            on_in_block = on_prefix[start + period] - on_prefix[start]
+            if on_in_block == 0 or on_in_block == period:
                 continue
-            repetitions = _count_repetitions(sequence, start, period)
+            lcp = z[period]
+            repetitions = 1 + lcp // period
             if repetitions < min_repetitions:
                 continue
-            block_set = set(block)
-            persistent = sequence[-1] in block_set
-            kind = LoopKind.PERSISTENT if persistent else LoopKind.SEMI_PERSISTENT
+            # The periodic region spans [start, start + period + lcp);
+            # the run is persistent iff it reaches the end of the
+            # sequence (complete repetitions + partial-block tail).
+            persistent = start + period + lcp == n
+            kind = LoopKind.PERSISTENT if persistent \
+                else LoopKind.SEMI_PERSISTENT
+            block = sequence[start:start + period]
             return LoopDetection(kind=kind, start_index=start, period=period,
                                  repetitions=repetitions,
                                  block=_canonical_rotation(block))
     return LoopDetection(kind=LoopKind.NO_LOOP)
+
+
+def loop_window(intervals: list[CellSetInterval],
+                detection: LoopDetection) -> tuple[float, float] | None:
+    """The [start, end) time span of a detection's periodic region.
+
+    ``LoopDetection.start_index`` indexes the *deduplicated* sequence;
+    this maps the periodic region — the complete repetitions plus any
+    partial-block tail that continues the block — back onto the interval
+    timeline, so cycle metrics can be restricted to the loop itself.
+    Returns ``None`` when there is no loop or the detection does not fit
+    the given intervals.
+    """
+    if not detection.is_loop:
+        return None
+    # Aggregate the intervals into deduplicated elements with time spans.
+    elements: list[tuple[CellSet, float, float]] = []
+    for interval in intervals:
+        if elements and elements[-1][0] == interval.cellset:
+            cellset, start_s, _ = elements[-1]
+            elements[-1] = (cellset, start_s, interval.end_s)
+        else:
+            elements.append((interval.cellset, interval.start_s,
+                             interval.end_s))
+    first = detection.start_index
+    period = detection.period
+    tail_start = first + period * detection.repetitions
+    if first < 0 or tail_start > len(elements):
+        return None
+    block = [cellset for cellset, _s, _e in elements[first:first + period]]
+    tail = 0
+    while tail < period and tail_start + tail < len(elements) and \
+            elements[tail_start + tail][0] == block[tail]:
+        tail += 1
+    last = tail_start + tail - 1
+    return elements[first][1], elements[last][2]

@@ -16,7 +16,7 @@ from repro.cells.cell import CellIdentity, Rat
 from repro.core.cellset import CellSet, CellSetInterval, extract_cellset_sequence
 from repro.core.deadline import check_deadline
 from repro.core.classify import LoopSubtype, OffTransition, classify_loop
-from repro.core.loops import LoopDetection, LoopKind, detect_loop
+from repro.core.loops import LoopDetection, LoopKind, detect_loop, loop_window
 from repro.core.metrics import (
     CycleMetrics,
     RunPerformance,
@@ -29,6 +29,7 @@ from repro.traces.log import SignalingTrace, TraceMetadata
 from repro.traces.records import (
     MeasurementReportRecord,
     MmStateRecord,
+    Record,
     RrcReconfigurationRecord,
 )
 
@@ -73,10 +74,15 @@ class RunAnalysis:
         return self.detection.kind
 
 
-def _scell_modification_outcomes(trace: SignalingTrace) -> list[ScellModOutcome]:
-    """Find SCell modifications and whether each was followed by the exception."""
-    records = trace.signaling_records()
+def _scell_modification_outcomes(records: list[Record]) -> list[ScellModOutcome]:
+    """Find SCell modifications and whether each was followed by the exception.
+
+    ``records`` is the run's already-materialized signaling record list;
+    the exception lookahead walks it by index inside the 1.5 s window
+    instead of slicing a fresh tail list per reconfiguration.
+    """
     outcomes: list[ScellModOutcome] = []
+    n_records = len(records)
     for index, record in enumerate(records):
         if not isinstance(record, RrcReconfigurationRecord):
             continue
@@ -85,25 +91,29 @@ def _scell_modification_outcomes(trace: SignalingTrace) -> list[ScellModOutcome]
         if not (record.scell_add_mod and record.scell_release_indices):
             continue
         failed = False
-        for later in records[index + 1:]:
-            if later.time_s > record.time_s + 1.5:
+        cutoff = record.time_s + 1.5
+        later_index = index + 1
+        while later_index < n_records:
+            later = records[later_index]
+            if later.time_s > cutoff:
                 break
             if isinstance(later, MmStateRecord) and later.state == "DEREGISTERED":
                 failed = True
                 break
+            later_index += 1
         for entry in record.scell_add_mod:
             outcomes.append(ScellModOutcome(channel=entry.identity.channel,
                                             failed=failed))
     return outcomes
 
 
-def _collect_measurement_stats(trace: SignalingTrace,
+def _collect_measurement_stats(records: list[Record],
                                analysis: RunAnalysis) -> None:
     """Tally observed cells, RSRP samples, and per-channel serving RSRP."""
     serving_now: set[CellIdentity] = set()
     interval_index = 0
     intervals = analysis.intervals
-    for record in trace.signaling_records():
+    for record in records:
         if not isinstance(record, MeasurementReportRecord):
             continue
         while interval_index < len(intervals) - 1 and \
@@ -151,7 +161,8 @@ def analyze_trace(trace: SignalingTrace) -> RunAnalysis:
                 subtype, transitions = LoopSubtype.UNKNOWN, []
         check_deadline("classify")
         with registry.timer("stage_seconds", stage="loop_metrics"):
-            cycles = loop_cycles(intervals) if detection.is_loop else []
+            cycles = loop_cycles(intervals, loop_window(intervals, detection)) \
+                if detection.is_loop else []
             performance = run_performance(intervals,
                                           trace.throughput_series())
         check_deadline("loop_metrics")
@@ -165,7 +176,7 @@ def analyze_trace(trace: SignalingTrace) -> RunAnalysis:
             cycles=cycles,
             performance=performance,
             scg_meas_delays=scg_measurement_delays(records),
-            scell_mods=_scell_modification_outcomes(trace),
+            scell_mods=_scell_modification_outcomes(records),
             duration_s=trace.duration_s,
             n_cs_samples=len(intervals),
         )
@@ -178,7 +189,7 @@ def analyze_trace(trace: SignalingTrace) -> RunAnalysis:
                         analysis.serving_nr_channels.add(cell.channel)
                     else:
                         analysis.serving_lte_channels.add(cell.channel)
-            _collect_measurement_stats(trace, analysis)
+            _collect_measurement_stats(records, analysis)
         registry.counter("pipeline_runs_analyzed_total").inc()
         if detection.is_loop:
             registry.counter("pipeline_loops_detected_total").inc(

@@ -16,9 +16,18 @@ from repro.campaign.dataset import CampaignResult
 
 @pytest.fixture(scope="module")
 def result():
-    config = CampaignConfig(area_names=["A1"], a1_locations=6,
-                            a1_runs_per_location=4, duration_s=300)
-    return CampaignRunner([operator("OP_T")], config).run()
+    """One area per operator — Table 1 is a full-campaign artifact.
+
+    The paper checks its findings against the combined three-operator
+    dataset; a single-operator slice distorts cross-operator findings
+    (F1's persistent share, F15's recovery-delay comparison), so the
+    fixture simulates a small campaign covering all three.
+    """
+    config = CampaignConfig(area_names=["A1", "A6", "A9"], a1_locations=6,
+                            locations_per_area=6, a1_runs_per_location=4,
+                            runs_per_location=4, duration_s=300)
+    return CampaignRunner([operator("OP_T"), operator("OP_A"),
+                           operator("OP_V")], config).run()
 
 
 class TestIndividualCheckers:
@@ -60,13 +69,15 @@ class TestCheckAll:
         assert ids == ["F1", "F2", "F3", "F4", "F5", "F6", "F7", "F9",
                        "F12", "F13", "F14", "F15"]
 
-    def test_single_operator_campaign_findings(self, result):
+    def test_campaign_findings_hold(self, result):
         findings = {finding.finding: finding for finding in check_all(result)}
-        # Findings checkable on an OP_T-only campaign should hold.
-        for finding_id in ("F1", "F2", "F3", "F7", "F9", "F12", "F13", "F14"):
+        # Every finding checkable without a device matrix should hold on
+        # the combined three-operator campaign.
+        for finding_id in ("F1", "F2", "F3", "F4", "F7", "F9", "F12", "F13",
+                           "F14", "F15"):
             assert findings[finding_id].holds, finding_id
 
     def test_unchecked_findings_marked(self, result):
         findings = {finding.finding: finding for finding in check_all(result)}
         assert not findings["F5"].checked  # no device matrix provided
-        assert not findings["F15"].checked  # no SCG failures over SA
+        assert not findings["F6"].checked  # no device matrix provided

@@ -153,6 +153,83 @@ class TestProperties:
         assert any(not cellset.five_g_on for cellset in detection.block)
 
 
+class TestPersistenceRegression:
+    """The seed rule decided II-P via ``sequence[-1] in block`` — a run
+    that exits the loop and coincidentally ends on a loop-member cell
+    set was wrongly reported persistent.  The corrected rule requires
+    the periodic region itself to extend to the end of the run."""
+
+    def test_coincidental_member_ending_is_semi_persistent(self):
+        # Loops over (ON_A, IDLE), exits to ON_C, then ends on ON_A — a
+        # loop member, but the periodic region stopped two sets earlier.
+        detection = detect_loop(seq(ON_A, IDLE, ON_A, IDLE, ON_C, ON_A))
+        assert detection.is_loop
+        assert detection.kind is LoopKind.SEMI_PERSISTENT
+
+    def test_leave_then_reenter_is_semi_persistent(self):
+        # Leaves the loop mid-run and later re-enters loop-member cell
+        # sets without resuming the periodicity.
+        detection = detect_loop(seq(ON_A, IDLE, ON_A, IDLE, ON_C, IDLE,
+                                    ON_A))
+        assert detection.is_loop
+        assert detection.kind is LoopKind.SEMI_PERSISTENT
+
+    def test_partial_block_tail_still_counts_as_inside(self):
+        # Ending mid-block (a strict prefix of the block) is still
+        # "inside the periodic region".
+        detection = detect_loop(seq(ON_A, IDLE, ON_B, ON_A, IDLE, ON_B,
+                                    ON_A, IDLE))
+        assert detection.kind is LoopKind.PERSISTENT
+
+
+def _naive_detect(sequence: list[CellSet], min_repetitions: int = 2):
+    """The seed's O(n^3) slice-comparing scan, kept as a test oracle.
+
+    Identical tie-break semantics (earliest start, then shortest
+    period); encodes the *fixed* persistence rule — the repetitions
+    plus a partial-block tail that is a prefix of the block must extend
+    to the end of the deduplicated sequence.
+    """
+    n = len(sequence)
+    for start in range(n):
+        for period in range(2, (n - start) // min_repetitions + 1):
+            block = sequence[start:start + period]
+            if not any(cellset.five_g_on for cellset in block):
+                continue
+            if all(cellset.five_g_on for cellset in block):
+                continue
+            repetitions = 1
+            while sequence[start + repetitions * period:
+                           start + (repetitions + 1) * period] == block:
+                repetitions += 1
+            if repetitions < min_repetitions:
+                continue
+            end = start + repetitions * period
+            tail = 0
+            while end + tail < n and sequence[end + tail] == block[tail]:
+                tail += 1
+            return start, period, repetitions, end + tail == n
+    return None
+
+
+class TestOracleEquivalence:
+    @given(st.lists(st.sampled_from([ON_A, ON_B, ON_C, IDLE, OFF_LTE]),
+                    max_size=24))
+    def test_fast_detector_matches_naive_oracle(self, cellsets):
+        intervals = seq(*cellsets)
+        fast = detect_loop(intervals)
+        expected = _naive_detect(dedup_sequence(intervals))
+        if expected is None:
+            assert fast.kind is LoopKind.NO_LOOP
+        else:
+            start, period, repetitions, persistent = expected
+            assert fast.is_loop
+            assert (fast.start_index, fast.period, fast.repetitions) == \
+                (start, period, repetitions)
+            assert fast.kind is (LoopKind.PERSISTENT if persistent
+                                 else LoopKind.SEMI_PERSISTENT)
+
+
 class TestRobustness:
     @given(loop_sequences())
     def test_detection_survives_prefix_noise(self, cellsets):

@@ -73,6 +73,67 @@ class TestLoopCycles:
         assert len(loop_cycles(intervals)) == 1
 
 
+class TestLoopCycleWindow:
+    """Cycle extraction restricted to the detected loop's time span."""
+
+    def test_window_excludes_pre_and_post_loop_cycles(self):
+        # A slow pre-loop cycle, two in-loop cycles, a slow post-loop
+        # cycle.  Without the window all four pollute the distribution.
+        intervals = intervals_from([
+            (ON, 90.0), (OFF, 60.0),              # pre-loop
+            (ON, 10.0), (OFF, 5.0), (ON, 10.0), (OFF, 5.0),   # the loop
+            (ON, 80.0), (OFF, 70.0), (ON, 1.0),   # post-loop
+        ])
+        window = (150.0, 180.0)
+        cycles = loop_cycles(intervals, window)
+        assert len(cycles) == 2
+        assert all(cycle.on_s == pytest.approx(10.0) for cycle in cycles)
+        assert all(cycle.off_s == pytest.approx(5.0) for cycle in cycles)
+
+    def test_straddling_segments_clipped_to_window(self):
+        intervals = intervals_from([(ON, 20.0), (OFF, 20.0)])
+        cycles = loop_cycles(intervals, (10.0, 30.0))
+        assert len(cycles) == 1
+        assert cycles[0].on_s == pytest.approx(10.0)
+        assert cycles[0].off_s == pytest.approx(10.0)
+
+    def test_none_window_keeps_full_timeline(self):
+        intervals = intervals_from([(ON, 10.0), (OFF, 5.0), (ON, 10.0)])
+        assert len(loop_cycles(intervals, None)) == 1
+
+    def test_loop_window_spans_repetitions_and_tail(self):
+        from repro.core.loops import detect_loop, loop_window
+
+        # Loop (ON 10s, OFF 5s) x2 plus a partial ON tail, after a
+        # 30-second pre-loop stretch that must be excluded.
+        intervals = intervals_from([
+            (LTE_ONLY, 30.0),
+            (ON, 10.0), (OFF, 5.0), (ON, 10.0), (OFF, 5.0), (ON, 12.0),
+        ])
+        detection = detect_loop(intervals)
+        assert detection.is_loop
+        window = loop_window(intervals, detection)
+        assert window == (pytest.approx(30.0), pytest.approx(72.0))
+
+    def test_loop_window_stops_where_loop_exits(self):
+        from repro.core.loops import detect_loop, loop_window
+
+        intervals = intervals_from([
+            (ON, 10.0), (OFF, 5.0), (ON, 10.0), (OFF, 5.0),
+            (LTE_ONLY, 100.0), (ON, 3.0),
+        ])
+        detection = detect_loop(intervals)
+        assert detection.is_loop
+        window = loop_window(intervals, detection)
+        assert window == (pytest.approx(0.0), pytest.approx(30.0))
+
+    def test_loop_window_none_without_loop(self):
+        from repro.core.loops import LoopDetection, LoopKind, loop_window
+
+        detection = LoopDetection(kind=LoopKind.NO_LOOP)
+        assert loop_window(intervals_from([(ON, 10.0)]), detection) is None
+
+
 class TestRunPerformance:
     def test_speed_split_by_state(self):
         intervals = intervals_from([(ON, 10.0), (OFF, 10.0)])
@@ -104,6 +165,28 @@ class TestRunPerformance:
         series = [(t + 0.5, 150.0) for t in range(10)]
         performance = run_performance(intervals, series)
         assert performance.median_speed_loss_mbps == pytest.approx(150.0)
+
+    def test_samples_before_timeline_are_dropped(self):
+        # The seed counted samples captured before the first signaling
+        # record as OFF speed, biasing median_off_mbps low.  They carry
+        # no known 5G state and must be dropped.
+        intervals = [CellSetInterval(ON, 10.0, 20.0),
+                     CellSetInterval(OFF, 20.0, 30.0)]
+        series = [(5.0, 0.0), (7.0, 0.0),          # before the timeline
+                  (15.0, 100.0), (25.0, 40.0)]
+        performance = run_performance(intervals, series)
+        assert performance.off_speed_samples == [40.0]
+        assert performance.median_off_mbps == pytest.approx(40.0)
+        assert performance.on_speed_samples == [100.0]
+
+    def test_samples_past_timeline_extrapolate_last_state(self):
+        intervals = [CellSetInterval(ON, 0.0, 10.0),
+                     CellSetInterval(OFF, 10.0, 20.0)]
+        series = [(5.0, 120.0), (15.0, 30.0), (25.0, 35.0), (40.0, 32.0)]
+        performance = run_performance(intervals, series)
+        # Samples past the final segment keep its (OFF) state.
+        assert performance.off_speed_samples == [30.0, 35.0, 32.0]
+        assert performance.on_speed_samples == [120.0]
 
 
 class TestScgMeasurementDelays:
