@@ -16,6 +16,8 @@ from repro.campaign.operators import (
 )
 from repro.campaign.locations import dense_grid_locations, sparse_locations
 from repro.campaign.runner import CampaignConfig, CampaignRunner, RunResult, run_once
+from repro.campaign.scheduler import PoolScheduler, QueueScheduler, Scheduler
+from repro.campaign.worker import QueueWorker, WorkerConfig
 from repro.campaign.dataset import CampaignResult, DatasetStatistics
 
 __all__ = [
@@ -27,7 +29,12 @@ __all__ = [
     "DatasetStatistics",
     "OPERATORS",
     "OperatorProfile",
+    "PoolScheduler",
+    "QueueScheduler",
+    "QueueWorker",
     "RunResult",
+    "Scheduler",
+    "WorkerConfig",
     "build_deployment",
     "dense_grid_locations",
     "device",

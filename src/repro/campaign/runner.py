@@ -37,13 +37,18 @@ from __future__ import annotations
 import os
 import time
 from collections import deque
-from concurrent.futures import CancelledError, Future
-from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterator
 
 from repro.campaign.dataset import CampaignResult, QuarantinedRun, RunResult
+from repro.campaign.scheduler import (
+    DrainResult,
+    PendingRun,
+    PoolScheduler,
+    QueueScheduler,
+    Scheduler,
+)
 from repro.campaign.devices import device as device_by_name
 from repro.campaign.locations import sparse_locations
 from repro.campaign.operators import OperatorProfile, build_deployment
@@ -63,14 +68,12 @@ from repro.radio.geometry import Point
 from repro.resilience.checkpoint import CampaignCheckpoint, CheckpointEntry, RunKey
 from repro.resilience.retry import AttemptOutcome, RetryPolicy, execute_with_retry
 from repro.resilience.supervision import (
-    POOL_CRASH_ERRORS,
     CircuitBreaker,
-    PoolSupervisor,
     RunTimeoutError,
     ShutdownRequested,
-    WorkerCrashError,
     parent_wait_budget,
 )
+from repro.resilience.taskqueue import DurableTaskQueue
 from repro.rrc.capabilities import DeviceCapabilities
 from repro.rrc.session import RunConfig, simulate_run
 from repro.traces.log import TraceMetadata
@@ -178,6 +181,19 @@ class CampaignConfig:
     per-append ``os.fsync`` durability guarantee for throughput, and
     ``shutdown_grace_s`` caps how long a graceful SIGTERM/SIGINT stop
     waits to drain in-flight worker futures into the checkpoint.
+
+    The scheduler knobs (see :mod:`repro.campaign.scheduler`):
+    ``scheduler="pool"`` keeps the in-host supervised ProcessPool;
+    ``scheduler="queue"`` spools the schedule into a durable on-disk
+    task queue at ``queue_dir`` and merges completions produced by
+    independent ``repro worker`` processes — ``lease_timeout_s`` is
+    the work-claim lease each worker must heartbeat, ``queue_poll_s``
+    the coordinator's spool poll cadence, and ``queue_stall_s`` how
+    long a silent queue with no live workers is tolerated before the
+    circuit breaker fails the campaign fast (``0`` disables).  All of
+    these are execution knobs: they are deliberately excluded from
+    :meth:`CampaignRunner.campaign_identity`, so checkpoints and
+    spools interoperate across pool/queue/sequential execution.
     """
 
     device_name: str = "OnePlus 12R"
@@ -199,6 +215,11 @@ class CampaignConfig:
     breaker_max_rebuilds: int = 3
     breaker_max_consecutive_failures: int = 0
     shutdown_grace_s: float = 5.0
+    scheduler: str = "pool"
+    queue_dir: str | Path | None = None
+    lease_timeout_s: float = 30.0
+    queue_poll_s: float = 0.05
+    queue_stall_s: float = 60.0
 
     def locations_for(self, area_name: str) -> int:
         return self.a1_locations if area_name == "A1" else self.locations_per_area
@@ -264,21 +285,6 @@ class _WorkerOutcome:
     metrics: dict | None
     spans: list[dict]
     timed_out: bool = False
-
-
-@dataclass
-class _Pending:
-    """One schedule slot awaiting its in-order merge in the parent.
-
-    ``task``/``future`` are ``None`` for checkpointed runs restored
-    in-parent; ``kills`` counts how many times supervision killed the
-    worker this run was blamed for (bounded by the retry policy).
-    """
-
-    scheduled: ScheduledRun
-    task: _WorkerTask | None = None
-    future: Future | None = None
-    kills: int = 0
 
 
 #: Per-worker-process deployment cache: deployments are deterministic
@@ -443,6 +449,12 @@ class CampaignRunner:
     def run(self) -> CampaignResult:
         obs = self.obs if self.obs is not None else get_instrumentation()
         with instrumented(obs):
+            if self.config.scheduler == "queue":
+                return self._run_queue(obs)
+            if self.config.scheduler != "pool":
+                raise ValueError(
+                    f"unknown scheduler {self.config.scheduler!r} "
+                    "(expected 'pool' or 'queue')")
             workers = self._effective_workers()
             if workers > 1:
                 result = self._run_parallel(obs, workers)
@@ -513,132 +525,100 @@ class CampaignRunner:
 
     def _run_parallel(self, obs: Instrumentation,
                       workers: int) -> CampaignResult | None:
-        """Fan the schedule out over a supervised process pool.
+        """Fan the schedule out over the supervised process-pool backend.
 
         Returns ``None`` when the platform lacks usable multiprocessing
-        (the caller then falls back to the in-process path).  Ordering
-        contract: runs are *dispatched* as the pool has capacity but
-        *merged* strictly in schedule order, and all checkpoint appends
-        and progress callbacks happen here in the parent — so results,
-        checkpoint contents and exported counters are bit-identical to
-        ``workers=1`` for the same seed whenever no worker hangs or
-        crashes.
-
-        Supervision: each head future gets a hard parent-side wait
-        budget (:func:`parent_wait_budget`, covering the worker's whole
-        cooperative retry envelope); blowing it — or breaking the pool —
-        kills the worker processes, rebuilds the pool, reschedules the
-        in-flight keys and retries or quarantines the blamed run, all
-        bounded by the circuit breaker.  SIGTERM/SIGINT drain finished
-        head futures into the checkpoint (within ``shutdown_grace_s``)
-        before re-raising for the CLI's resume hint.
+        (the caller then falls back to the in-process path).  The
+        schedule-order merge loop itself lives in
+        :meth:`_run_scheduled`; supervision (parent-side wait budgets,
+        kill-and-rebuild cycles, in-flight rescheduling) lives in
+        :class:`~repro.campaign.scheduler.PoolScheduler`.
         """
         context = _mp_context()
         if context is None:
             return None
         breaker = self.config.breaker()
-        supervisor = PoolSupervisor(workers, context, breaker)
-        if not supervisor.start():
+        policy = self.config.retry_policy()
+        run_timeout = self.config.run_timeout_s
+        wait_budget = (parent_wait_budget(run_timeout, policy.max_retries)
+                       if run_timeout is not None else None)
+        scheduler = PoolScheduler(workers, context, breaker, policy,
+                                  wait_budget, _execute_worker_task)
+        if not scheduler.start():
             return None
+        return self._run_scheduled(obs, scheduler, breaker, policy,
+                                   workers=workers)
+
+    def _run_queue(self, obs: Instrumentation) -> CampaignResult:
+        """Spool the schedule into the durable on-disk task queue.
+
+        The coordinator submits every task as a durable spool event,
+        seals the queue, and merges completions — produced by
+        independent ``repro worker`` processes claiming leases against
+        the same spool — strictly in schedule order.  It executes no
+        runs itself (checkpoint-restored runs excepted), so it can be
+        killed and restarted against the same ``queue_dir`` at any
+        point; so can any worker, whose outstanding leases expire and
+        get stolen by the survivors.
+        """
+        if self.config.queue_dir is None:
+            raise ValueError("scheduler='queue' requires queue_dir")
+        if self.run_fn is not None or self.sleep is not None:
+            raise ValueError(
+                "scheduler='queue' cannot ship custom run_fn/sleep hooks "
+                "to independent worker processes; use the pool scheduler")
+        breaker = self.config.breaker()
+        policy = self.config.retry_policy()
+        queue = DurableTaskQueue(self.config.queue_dir,
+                                 identity=self.campaign_identity(),
+                                 payload_mode="ref",
+                                 fsync=self.config.checkpoint_fsync,
+                                 default_lease_s=self.config.lease_timeout_s)
+        scheduler = QueueScheduler(queue, breaker,
+                                   poll_s=self.config.queue_poll_s,
+                                   stall_s=self.config.queue_stall_s)
+        scheduler.start()  # may raise CheckpointMismatchError
+        return self._run_scheduled(obs, scheduler, breaker, policy,
+                                   workers=self.config.workers or 1)
+
+    def _run_scheduled(self, obs: Instrumentation, scheduler: Scheduler,
+                       breaker: CircuitBreaker, policy: RetryPolicy,
+                       workers: int) -> CampaignResult:
+        """The backend-generic schedule-order merge loop.
+
+        Ordering contract: runs are *dispatched* as the backend has
+        capacity (bounded by ``scheduler.window()``) but *merged*
+        strictly in schedule order, and all checkpoint appends and
+        progress callbacks happen here in the parent — so results,
+        checkpoint contents and exported counters are bit-identical to
+        ``workers=1`` for the same seed whenever no worker hangs or
+        crashes.  SIGTERM/SIGINT drain already-finished head slots into
+        the checkpoint (within ``shutdown_grace_s``) before re-raising
+        for the CLI's resume hint.
+        """
         try:
             # May raise CheckpointMismatchError on a foreign checkpoint.
             checkpoint, restored = self._open_checkpoint()
         except BaseException:
-            supervisor.shutdown(wait=False, cancel_futures=True)
+            scheduler.kill()
             raise
         result = CampaignResult()
-        policy = self.config.retry_policy()
         test_device = device_by_name(self.config.device_name)
         schedule = list(self.schedule())
         registry, progress = obs.registry, obs.progress
         keep_trace = self.config.keep_traces or checkpoint is not None
         instrument = obs.registry.enabled or obs.tracer.enabled
-        run_timeout = self.config.run_timeout_s
-        wait_budget = (parent_wait_budget(run_timeout, policy.max_retries)
-                       if run_timeout is not None else None)
-        # Bound how many undrained futures exist at once: payloads can
-        # carry full traces (checkpointing), so an unbounded backlog of
-        # out-of-order completions would hold a campaign's worth of
-        # traces in memory.
-        window = max(4 * workers, workers + 1)
-        pending: deque[_Pending] = deque()
+        window = scheduler.window()
+        pending: deque[PendingRun] = deque()
         campaign_span = None
         progress.campaign_started(len(schedule))
-
-        def resubmit(item: _Pending) -> None:
-            item.future = supervisor.submit(_execute_worker_task, item.task)
-
-        def reschedule_in_flight(head: _Pending) -> None:
-            """Resubmit every run the dead pool took down with it.
-
-            Futures that completed *before* the pool died keep their
-            results; everything else (running, queued-then-cancelled,
-            poisoned with the pool's BrokenProcessPool) is resubmitted
-            to the fresh pool.
-            """
-            rescheduled = 0
-            for item in pending:
-                if item is head or item.task is None or item.future is None:
-                    continue
-                if item.future.done() and not item.future.cancelled() \
-                        and item.future.exception() is None:
-                    continue
-                resubmit(item)
-                rescheduled += 1
-            if rescheduled:
-                registry.counter(
-                    "campaign_runs_rescheduled_total").inc(rescheduled)
-
-        def supervise(item: _Pending) -> _WorkerOutcome | None:
-            """Await one head future under the parent's hard deadline.
-
-            Returns the worker's outcome, or ``None`` when supervision
-            gave the run up (it has been quarantined here).  A worker
-            that merely *times out* cooperatively still returns an
-            outcome — this path only fires for genuinely hung or
-            crashed workers, so fault-free campaigns never enter it and
-            stay bit-identical to sequential execution.
-            """
-            while True:
-                try:
-                    return item.future.result(timeout=wait_budget)
-                except FutureTimeoutError:
-                    registry.counter("campaign_run_timeouts_total").inc()
-                    breaker.record_failure("hung run", item.scheduled.key)
-                    supervisor.rebuild("hung run")  # breaker-gated
-                    item.kills += 1
-                    reschedule_in_flight(item)
-                    error: Exception = RunTimeoutError(
-                        "run exceeded its supervision deadline "
-                        f"({wait_budget:.1f}s) without yielding; worker "
-                        f"killed", budget_s=wait_budget)
-                except (CancelledError, *POOL_CRASH_ERRORS) as crash:
-                    breaker.record_failure("worker crash",
-                                           item.scheduled.key)
-                    # Rebuild unconditionally: rescheduling the in-flight
-                    # keys is only safe against a freshly killed pool.
-                    supervisor.rebuild("worker crash")  # breaker-gated
-                    item.kills += 1
-                    reschedule_in_flight(item)
-                    error = WorkerCrashError(
-                        "worker died abnormally mid-run "
-                        f"({type(crash).__name__}); the oldest in-flight "
-                        "run is blamed")
-                if item.kills > policy.max_retries:
-                    self._supervision_quarantine(item, error, checkpoint,
-                                                 result, obs)
-                    return None
-                registry.counter("campaign_run_retries_total").inc()
-                registry.counter("campaign_runs_retried_total").inc()
-                progress.run_retried(item.scheduled.key, 1)
-                resubmit(item)
 
         def drain_one() -> None:
             item = pending.popleft()
             scheduled = item.scheduled
             result.scheduled += 1
             registry.counter("campaign_runs_scheduled_total").inc()
-            if item.future is None:  # checkpointed: restore in-parent
+            if item.handle is None:  # checkpointed: restore in-parent
                 entry = restored[scheduled.key]
                 restored_run = self._restore_span(entry, scheduled, obs)
                 if restored_run is not None:
@@ -659,11 +639,17 @@ class CampaignRunner:
                 else:
                     breaker.record_failure("quarantine", scheduled.key)
                 return
-            outcome = supervise(item)
-            if outcome is None:
-                return  # supervision already quarantined the run
-            self._merge_worker_outcome(scheduled, outcome, checkpoint,
-                                       result, obs, campaign_span, breaker)
+            drained = scheduler.drain(item)
+            if drained.error is not None:
+                # The backend gave the run up (hung/crashed past the
+                # retry budget); quarantine it parent-side.
+                self._supervision_quarantine(scheduled, drained.error,
+                                             drained.attempts, checkpoint,
+                                             result, obs)
+                return
+            self._merge_worker_outcome(scheduled, drained.outcome,
+                                       checkpoint, result, obs,
+                                       campaign_span, breaker)
 
         try:
             with obs.tracer.span(
@@ -673,7 +659,7 @@ class CampaignRunner:
                 for scheduled in schedule:
                     entry = restored.get(scheduled.key)
                     if entry is not None and entry.succeeded:
-                        pending.append(_Pending(scheduled=scheduled))
+                        pending.append(PendingRun(scheduled=scheduled))
                     else:
                         task = _WorkerTask(
                             key=scheduled.key, profile=scheduled.profile,
@@ -685,44 +671,46 @@ class CampaignRunner:
                             duration_s=self.config.duration_s,
                             keep_trace=keep_trace, policy=policy,
                             instrument=instrument,
-                            run_timeout_s=run_timeout)
-                        item = _Pending(scheduled=scheduled, task=task)
-                        resubmit(item)
+                            run_timeout_s=self.config.run_timeout_s)
+                        item = PendingRun(scheduled=scheduled, task=task)
+                        scheduler.submit(item)
                         pending.append(item)
-                    while len(pending) >= window:
-                        drain_one()
+                    if window is not None:
+                        while len(pending) >= window:
+                            drain_one()
+                scheduler.seal()
                 while pending:
                     drain_one()
-            supervisor.shutdown()
+            scheduler.shutdown()
         except (KeyboardInterrupt, ShutdownRequested):
-            # Graceful stop: merge the head futures that already
-            # finished (bounded by shutdown_grace_s) so their outcomes
-            # reach the checkpoint, then kill whatever is still running
-            # — shutdown(wait=True) could block on a hung run forever.
-            self._drain_on_shutdown(pending, checkpoint, result, obs,
-                                    campaign_span, breaker)
-            supervisor.kill()
+            # Graceful stop: merge the head slots that already finished
+            # (bounded by shutdown_grace_s) so their outcomes reach the
+            # checkpoint, then kill whatever is still running —
+            # an orderly shutdown could block on a hung run forever.
+            self._drain_on_shutdown(pending, scheduler, checkpoint, result,
+                                    obs, campaign_span, breaker)
+            scheduler.kill()
             raise
         except BaseException:
             # Breaker trip / crash: abandon queued runs so the failure
             # surfaces promptly instead of waiting out the backlog.
-            supervisor.kill()
+            scheduler.kill()
             raise
         finally:
             progress.campaign_finished()
         return result
 
-    def _supervision_quarantine(self, item: _Pending, error: Exception,
+    def _supervision_quarantine(self, scheduled: ScheduledRun,
+                                error: Exception, attempts: int,
                                 checkpoint: CampaignCheckpoint | None,
                                 result: CampaignResult,
                                 obs: Instrumentation) -> None:
-        """Quarantine a run the supervisor gave up on (parent-side).
+        """Quarantine a run the scheduler gave up on (parent-side).
 
         Mirrors the worker-side quarantine accounting so
         :meth:`CampaignResult.reconciles` and the exported counters stay
         consistent whichever side declared the run dead.
         """
-        scheduled = item.scheduled
         registry, progress = obs.registry, obs.progress
         timed_out = isinstance(error, RunTimeoutError)
         with obs.tracer.span("run", operator=scheduled.profile.name,
@@ -730,13 +718,13 @@ class CampaignRunner:
                              location=scheduled.location_name,
                              run_index=scheduled.run_index,
                              supervised=True) as span:
-            span.set_attribute("attempts", item.kills)
+            span.set_attribute("attempts", attempts)
             span.set_attribute("outcome", "quarantined")
             if timed_out:
                 span.set_attribute("timed_out", True)
         quarantined = QuarantinedRun(
             *scheduled.key, error=f"{type(error).__name__}: {error}",
-            attempts=item.kills)
+            attempts=attempts)
         registry.counter("campaign_runs_quarantined_total").inc()
         result.quarantine(quarantined)
         if timed_out:
@@ -745,35 +733,34 @@ class CampaignRunner:
             progress.run_quarantined(scheduled.key)
         if checkpoint is not None:
             checkpoint.record_failure(scheduled.key, quarantined.error,
-                                      item.kills)
+                                      attempts)
 
-    def _drain_on_shutdown(self, pending: deque[_Pending],
+    def _drain_on_shutdown(self, pending: deque[PendingRun],
+                           scheduler: Scheduler,
                            checkpoint: CampaignCheckpoint | None,
                            result: CampaignResult, obs: Instrumentation,
                            campaign_span, breaker: CircuitBreaker) -> None:
-        """Merge already-finished head futures before a graceful stop.
+        """Merge already-finished head slots before a graceful stop.
 
-        Walks the schedule-order queue head while the head future is
-        (or becomes, within the remaining ``shutdown_grace_s``) done, so
-        completed in-flight work lands in the checkpoint instead of
-        being re-simulated on resume.  Restored (checkpointed) heads are
-        simply dropped — resume restores them again for free.  Stops at
-        the first unfinished head: merging past it would break the
-        schedule-order contract.
+        Walks the schedule-order queue head while the head outcome is
+        (or becomes, within the remaining ``shutdown_grace_s``)
+        available, so completed in-flight work lands in the checkpoint
+        instead of being re-executed on resume.  Restored (checkpointed)
+        heads are simply dropped — resume restores them again for free.
+        Stops at the first unfinished head: merging past it would break
+        the schedule-order contract.
         """
         registry = obs.registry
         deadline_s = time.monotonic() + max(0.0, self.config.shutdown_grace_s)
         while pending:
             item = pending[0]
-            if item.future is None:
+            if item.handle is None:
                 pending.popleft()
                 continue
             remaining = deadline_s - time.monotonic()
-            if remaining <= 0 and not item.future.done():
-                break
             try:
-                outcome = item.future.result(timeout=max(0.0, remaining))
-            except BaseException:  # hung, crashed or cancelled: give up
+                outcome = scheduler.poll(item, max(0.0, remaining))
+            except BaseException:  # not done in time, crashed, cancelled
                 break
             pending.popleft()
             result.scheduled += 1

@@ -1,0 +1,166 @@
+"""Queue-drain campaign worker: the ``repro worker`` process body.
+
+A worker attaches to a durable task-queue spool
+(:mod:`repro.resilience.taskqueue`), claims one task at a time under a
+heartbeated lease, executes it through the exact pool-worker entry
+point (:func:`repro.campaign.runner._execute_worker_task` — same retry
+loop, same instrumentation snapshot, which is what keeps multi-worker
+campaigns bit-identical to sequential ones), and records the outcome
+as a fenced completion.  N workers against one spool drain a sharded
+campaign cooperatively; any of them can be SIGKILLed mid-run and the
+survivors steal its expired lease.
+
+The loop per claim::
+
+    refresh workers/<id>.hb  →  claim  →  [fault injection]  →
+    decode task  →  execute under a lease-heartbeat thread  →
+    complete (a fenced completion is discarded: the run was stolen)
+
+and the worker exits 0 once the queue is sealed and fully drained.
+SIGTERM/SIGINT raise :class:`ShutdownRequested` between stages (the
+outstanding lease, if any, simply expires and is stolen) and map to
+exit ``128 + signum``.
+
+``fail_after=N`` is deterministic fault injection for the steal tests
+and the CI smoke: the worker SIGKILLs itself immediately after its
+N-th successful claim — before executing it — leaving exactly one
+orphaned lease for the survivors.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.campaign.runner import _execute_worker_task
+from repro.campaign.scheduler import decode_payload, encode_payload
+from repro.resilience.taskqueue import Claim, DurableTaskQueue
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["QueueWorker", "WorkerConfig"]
+
+
+def _default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass
+class WorkerConfig:
+    """One worker process's knobs.
+
+    ``lease_s`` must match the coordinator's ``lease_timeout_s`` scale:
+    the worker heartbeats every ``lease_s / 3``, so a lease only
+    expires when the worker is genuinely dead or wedged for most of a
+    lease window.  ``attach_timeout_s`` bounds how long the worker
+    waits for the coordinator to create the spool before giving up
+    (workers are routinely started first).  ``fail_after`` is the
+    deterministic self-SIGKILL fault injection described in the module
+    docstring (``None`` disables).
+    """
+
+    queue_dir: str | Path = "queue"
+    worker_id: str = field(default_factory=_default_worker_id)
+    #: ``None`` inherits the lease the coordinator advertised in the
+    #: spool header (``--lease-timeout``), falling back to 30s.
+    lease_s: float | None = None
+    poll_s: float = 0.05
+    attach_timeout_s: float = 60.0
+    fail_after: int | None = None
+
+
+class QueueWorker:
+    """Drain loop over one durable task-queue spool."""
+
+    def __init__(self, config: WorkerConfig):
+        self.config = config
+        self.queue = DurableTaskQueue(config.queue_dir, payload_mode="drop")
+        self.lease_s = config.lease_s or 30.0
+        self.claims = 0
+        self.completed = 0
+        self.fenced = 0
+
+    def run(self) -> int:
+        """Drain until the queue is sealed and empty; returns exit code."""
+        if not self._attach():
+            logger.error("worker %s: no task-queue spool appeared at %s "
+                         "within %.0fs", self.config.worker_id,
+                         self.config.queue_dir,
+                         self.config.attach_timeout_s)
+            return 1
+        if self.config.lease_s is None \
+                and self.queue.state.default_lease_s is not None:
+            self.lease_s = self.queue.state.default_lease_s
+        while True:
+            self.queue.write_worker_heartbeat(self.config.worker_id,
+                                              self.lease_s)
+            claim = self.queue.claim(self.config.worker_id, self.lease_s)
+            if claim is None:
+                if self.queue.state.drained():
+                    logger.info(
+                        "worker %s: queue drained (%d completed, "
+                        "%d fenced of %d claims)", self.config.worker_id,
+                        self.completed, self.fenced, self.claims)
+                    return 0
+                time.sleep(self.config.poll_s)
+                continue
+            self.claims += 1
+            self._maybe_fail_injected()
+            self._execute_claim(claim)
+
+    def _attach(self) -> bool:
+        deadline = time.monotonic() + max(0.0, self.config.attach_timeout_s)
+        while True:
+            if self.queue.open():
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(self.config.poll_s)
+
+    def _maybe_fail_injected(self) -> None:
+        fail_after = self.config.fail_after
+        if fail_after is not None and self.claims >= fail_after:
+            logger.warning("worker %s: fault injection — SIGKILL after "
+                           "claim %d", self.config.worker_id, self.claims)
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def _execute_claim(self, claim: Claim) -> None:
+        task = decode_payload(claim.payload)
+        stop = threading.Event()
+        beat = threading.Thread(target=self._heartbeat_loop,
+                                args=(claim, stop), daemon=True)
+        beat.start()
+        try:
+            outcome = _execute_worker_task(task)
+        finally:
+            stop.set()
+            beat.join(timeout=self.lease_s)
+        if self.queue.complete(claim, encode_payload(outcome)):
+            self.completed += 1
+            self.queue.write_worker_heartbeat(self.config.worker_id,
+                                              self.lease_s)
+        else:
+            # The lease expired mid-run and another worker stole (and
+            # will deterministically reproduce) it; discarding here is
+            # the no-double-completion guarantee doing its job.
+            self.fenced += 1
+            logger.warning("worker %s: completion for task %d fenced off "
+                           "(lease stolen mid-run); outcome discarded",
+                           self.config.worker_id, claim.seq)
+
+    def _heartbeat_loop(self, claim: Claim, stop: threading.Event) -> None:
+        interval = max(0.01, self.lease_s / 3.0)
+        while not stop.wait(interval):
+            try:
+                self.queue.write_worker_heartbeat(self.config.worker_id,
+                                                  self.lease_s)
+                if not self.queue.heartbeat(claim, self.lease_s):
+                    return  # fenced: the run was stolen, stop renewing
+            except OSError:  # pragma: no cover - transient spool I/O
+                continue

@@ -35,6 +35,18 @@ Five subcommands mirror the reproduction's main workflows::
         Run a seeded, instrumented mini-campaign and print the
         per-stage timing table plus the metrics reconciliation check
         (exit code 1 when the telemetry does not reconcile).
+
+    python -m repro worker --queue-dir QDIR
+        Attach to a durable campaign task queue and drain it: claim
+        runs under heartbeated leases, execute them, record fenced
+        completions.  Start N of these (any host sharing the spool
+        directory) against ``repro campaign --scheduler queue
+        --queue-dir QDIR``; kill any of them at any time — expired
+        leases are stolen by the survivors without double-completion.
+
+Interrupts: Ctrl-C and SIGTERM share one graceful-drain path (the
+checkpoint is flushed, a resume hint printed) and exit ``128 +
+signum`` — 130 for SIGINT, 143 for SIGTERM.
 """
 
 from __future__ import annotations
@@ -111,9 +123,55 @@ def _add_campaign_parser(subparsers) -> None:
                         metavar="N",
                         help="consecutive run failures before the campaign "
                              "fails fast (default 0 = disabled)")
+    parser.add_argument("--scheduler", choices=("pool", "queue"),
+                        default="pool",
+                        help="execution backend: 'pool' = in-host worker "
+                             "processes (--workers), 'queue' = durable "
+                             "on-disk task queue drained by independent "
+                             "`repro worker` processes (default pool)")
+    parser.add_argument("--queue-dir", default=None, metavar="DIR",
+                        help="task-queue spool directory "
+                             "(required with --scheduler queue)")
+    parser.add_argument("--lease-timeout", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="work-claim lease duration; a worker silent "
+                             "for this long has its run stolen "
+                             "(default 30)")
+    parser.add_argument("--queue-stall", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="fail fast when the queue sees no activity "
+                             "and no live workers for this long "
+                             "(0 disables; default 60)")
     _add_workers_flag(parser)
     _add_run_timeout_flag(parser)
     _add_observability_flags(parser)
+
+
+def _add_worker_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "worker", help="drain a durable campaign task queue "
+                       "(start N of these against --scheduler queue)")
+    parser.add_argument("--queue-dir", required=True, metavar="DIR",
+                        help="task-queue spool directory shared with the "
+                             "campaign coordinator")
+    parser.add_argument("--worker-id", default=None,
+                        help="stable worker identity "
+                             "(default: <hostname>-<pid>)")
+    parser.add_argument("--lease", type=float, default=None,
+                        metavar="SECONDS",
+                        help="lease duration per claim; heartbeats renew "
+                             "it every lease/3 (default: the campaign's "
+                             "--lease-timeout from the spool header)")
+    parser.add_argument("--poll", type=float, default=0.05,
+                        metavar="SECONDS",
+                        help="idle poll interval (default 0.05)")
+    parser.add_argument("--attach-timeout", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="how long to wait for the spool to appear "
+                             "before exiting 1 (default 60)")
+    parser.add_argument("--fail-after", type=int, default=None, metavar="N",
+                        help="fault injection: SIGKILL this worker right "
+                             "after its N-th claim (steal/chaos testing)")
 
 
 def _add_workers_flag(parser) -> None:
@@ -228,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_simulate_parser(subparsers)
     _add_faults_parser(subparsers)
     _add_profile_parser(subparsers)
+    _add_worker_parser(subparsers)
     return parser
 
 
@@ -293,19 +352,29 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         checkpoint_fsync=not args.no_fsync,
         breaker_max_rebuilds=args.breaker_rebuilds,
         breaker_max_consecutive_failures=args.breaker_failures,
+        scheduler=args.scheduler,
+        queue_dir=args.queue_dir,
+        lease_timeout_s=args.lease_timeout,
+        queue_stall_s=args.queue_stall,
     )
+    if args.scheduler == "queue" and not args.queue_dir:
+        print("error: --scheduler queue requires --queue-dir",
+              file=sys.stderr)
+        return 2
     obs = _build_instrumentation(args)
     try:
         with graceful_shutdown():
             result = CampaignRunner(profiles, config, obs=obs).run()
     except (KeyboardInterrupt, ShutdownRequested) as stop:
         # Flush what the interrupted campaign did accomplish *before*
-        # the resume hint, so partial runs are accountable.  SIGTERM
-        # gets the same drain-flush-resume treatment as Ctrl-C.
+        # the resume hint, so partial runs are accountable.  Ctrl-C
+        # (SIGINT) and SIGTERM share this drain-flush-resume path and
+        # exit 128 + signum (130 / 143).
         _flush_observability(obs, args)
         _final_progress_snapshot(obs)
         _print_resume_hint(args, "interrupted")
-        return 143 if isinstance(stop, ShutdownRequested) else 130
+        return 128 + stop.signum if isinstance(stop, ShutdownRequested) \
+            else 130
     except CircuitBreakerOpen as error:
         # The failure pattern looked systemic; surface the breaker's
         # diagnostic summary and where to resume once it is fixed.
@@ -415,12 +484,34 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.campaign.worker import QueueWorker, WorkerConfig
+
+    kwargs = {"queue_dir": args.queue_dir, "lease_s": args.lease,
+              "poll_s": args.poll, "attach_timeout_s": args.attach_timeout,
+              "fail_after": args.fail_after}
+    if args.worker_id:
+        kwargs["worker_id"] = args.worker_id
+    worker = QueueWorker(WorkerConfig(**kwargs))
+    try:
+        with graceful_shutdown():
+            return worker.run()
+    except (KeyboardInterrupt, ShutdownRequested) as stop:
+        # Nothing to flush: an outstanding lease simply expires and is
+        # stolen; completed work is already durable in the spool.
+        print(f"worker {worker.config.worker_id} stopping "
+              f"({worker.completed} completed)", file=sys.stderr)
+        return 128 + stop.signum if isinstance(stop, ShutdownRequested) \
+            else 130
+
+
 _COMMANDS = {
     "campaign": _cmd_campaign,
     "analyze": _cmd_analyze,
     "simulate": _cmd_simulate,
     "faults": _cmd_faults,
     "profile": _cmd_profile,
+    "worker": _cmd_worker,
 }
 
 

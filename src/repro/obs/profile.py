@@ -92,6 +92,10 @@ class ProfileReport:
         breaker_trips = registry.counter(
             "campaign_breaker_trips_total").total()
         skipped = registry.counter("checkpoint_lines_skipped_total").total()
+        depth = registry.gauge("queue_depth").value()
+        leases = registry.gauge("leases_active").value()
+        expired = registry.counter("leases_expired_total").total()
+        stolen = registry.counter("runs_stolen_total").total()
         lines = [
             f"runs: {scheduled:g} scheduled, {completed:g} completed, "
             f"{quarantined:g} quarantined, {retries:g} retries",
@@ -99,6 +103,8 @@ class ProfileReport:
             f"supervision: {timeouts:g} timeouts, {rebuilds:g} pool "
             f"rebuilds, {rescheduled:g} rescheduled, {breaker_trips:g} "
             f"breaker trips, {skipped:g} checkpoint lines skipped",
+            f"queue: {depth:g} deep, {leases:g} leases active, "
+            f"{expired:g} leases expired, {stolen:g} runs stolen",
             "",
             stage_table(registry),
             "",

@@ -19,7 +19,10 @@ pipeline layers share:
   campaign→analyze pipeline under injected faults.
 * :mod:`repro.resilience.supervision` — run deadlines, hung/crashed
   worker containment (kill-and-respawn, circuit breaker) and graceful
-  SIGTERM shutdown for the campaign engine.
+  SIGTERM/SIGINT shutdown for the campaign engine.
+* :mod:`repro.resilience.taskqueue` — the durable on-disk task queue
+  behind ``--scheduler queue``: CRC-framed spool events, lease-based
+  claims with fencing tokens, crash-safe multi-worker work stealing.
 """
 
 from repro.resilience.chaos import (
@@ -57,6 +60,14 @@ from repro.resilience.retry import (
     RetryPolicy,
     execute_with_retry,
 )
+from repro.resilience.taskqueue import (
+    Claim,
+    DurableTaskQueue,
+    LeaseState,
+    QueueStats,
+    TaskQueueError,
+    TaskRecord,
+)
 from repro.resilience.supervision import (
     CircuitBreaker,
     CircuitBreakerOpen,
@@ -84,7 +95,13 @@ __all__ = [
     "CheckpointMismatchError",
     "CircuitBreaker",
     "CircuitBreakerOpen",
+    "Claim",
     "Deadline",
+    "DurableTaskQueue",
+    "LeaseState",
+    "QueueStats",
+    "TaskQueueError",
+    "TaskRecord",
     "FAULT_KINDS",
     "FaultEvent",
     "FaultInjector",

@@ -24,7 +24,15 @@ reload captures rather than redrive an area.
   killed writer leaves.
 * Appends are ``flush`` + ``os.fsync`` by default (opt out with
   ``fsync=False`` / ``--no-fsync``), so an acknowledged run survives
-  power loss, not merely process death.
+  power loss, not merely process death.  Creating the file also fsyncs
+  the parent *directory* once: without that, a freshly created
+  checkpoint can vanish entirely on power loss even though every line
+  in it was fsynced (the directory entry itself was still volatile).
+
+The CRC line framing (:func:`frame_line` / :func:`unframe_line`) and
+the directory barrier (:func:`fsync_directory`) are shared with the
+durable task-queue spool (:mod:`repro.resilience.taskqueue`), which
+persists campaign work items with the same durability contract.
 
 The reader is corruption-tolerant and backward compatible: headerless
 bare-JSON *v0* files still load (no CRC/identity verification), corrupt
@@ -62,6 +70,27 @@ _FRAME_PREFIX = 9
 
 class CheckpointMismatchError(ValueError):
     """Resume attempted against a checkpoint from a different campaign."""
+
+
+def fsync_directory(path: str | Path) -> None:
+    """One-shot fsync of a directory, so a new file's entry is durable.
+
+    ``os.fsync`` on a file makes its *contents* durable; the directory
+    entry pointing at a freshly created file needs its own fsync or the
+    whole file can be gone after power loss.  Best-effort: platforms
+    (or filesystems) that refuse to open/fsync directories simply skip
+    the barrier rather than fail the append.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:  # pragma: no cover - platform specific
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform specific
+        pass
+    finally:
+        os.close(fd)
 
 
 @dataclass(frozen=True)
@@ -126,15 +155,18 @@ class CampaignCheckpoint:
                       "error": error, "attempts": attempts})
 
     def _append(self, entry: dict) -> None:
+        created = not self.path.exists()
         with self.path.open("a", encoding="utf-8") as handle:
             if handle.tell() == 0 and self.identity is not None:
                 header = json.dumps({"version": CHECKPOINT_VERSION,
                                      "identity": self.identity})
-                handle.write(_frame(header) + "\n")
-            handle.write(_frame(json.dumps(entry)) + "\n")
+                handle.write(frame_line(header) + "\n")
+            handle.write(frame_line(json.dumps(entry)) + "\n")
             handle.flush()
             if self.fsync:
                 os.fsync(handle.fileno())
+        if created and self.fsync:
+            fsync_directory(self.path.parent)
 
     # ------------------------------------------------------------------
     # Loading
@@ -173,7 +205,7 @@ class CampaignCheckpoint:
                 stripped = line.strip()
                 if not stripped:
                     continue
-                payload, crc_ok = _unframe(stripped)
+                payload, crc_ok = unframe_line(stripped)
                 if crc_ok is False:
                     report.skipped_lines.append(number)
                     continue
@@ -217,13 +249,13 @@ class CampaignCheckpoint:
             self.path, report.lines_skipped, shown)
 
 
-def _frame(payload: str) -> str:
+def frame_line(payload: str) -> str:
     """``<crc32 hex8> <payload>`` — the v1 line frame."""
     crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
     return f"{crc:08x} {payload}"
 
 
-def _unframe(stripped: str) -> tuple[str, bool | None]:
+def unframe_line(stripped: str) -> tuple[str, bool | None]:
     """Split a line into payload + CRC verdict.
 
     Returns ``(payload, True)`` for a framed line whose CRC matches,

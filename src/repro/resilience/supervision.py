@@ -162,14 +162,23 @@ class CircuitBreaker:
             lines.extend(f"    - {event}" for event in self.events)
         return "\n".join(lines)
 
+    def trip(self, reason: str) -> None:
+        """Open the breaker now, whatever the thresholds say.
+
+        For supervision layers with their own systemic-failure signal —
+        the queue scheduler trips on a stalled spool with no live
+        workers — so every fail-fast path raises the same
+        :class:`CircuitBreakerOpen` with the same diagnostic summary.
+        """
+        get_instrumentation().registry.counter(
+            "campaign_breaker_trips_total").inc()
+        raise CircuitBreakerOpen(self.summary(reason))
+
     def _event(self, event: str) -> None:
         self.events.append(event)
         del self.events[:-self.EVENT_LIMIT]
 
-    def _trip(self, reason: str) -> None:
-        get_instrumentation().registry.counter(
-            "campaign_breaker_trips_total").inc()
-        raise CircuitBreakerOpen(self.summary(reason))
+    _trip = trip
 
 
 class PoolSupervisor:
@@ -250,15 +259,21 @@ class PoolSupervisor:
 
 
 @contextmanager
-def graceful_shutdown(signals: tuple[int, ...] = (signal.SIGTERM,),
+def graceful_shutdown(signals: tuple[int, ...] = (signal.SIGTERM,
+                                                  signal.SIGINT),
                       ) -> Iterator[None]:
-    """Raise :class:`ShutdownRequested` in the main thread on SIGTERM.
+    """Raise :class:`ShutdownRequested` on SIGTERM *and* SIGINT.
 
-    Python already maps SIGINT to ``KeyboardInterrupt``; this gives
-    SIGTERM — what a fleet scheduler or ``timeout(1)`` sends — the same
-    drain-flush-resume semantics.  Installing a handler is only legal
-    in the main thread; elsewhere the context manager degrades to a
-    no-op so library callers never crash.
+    SIGTERM is what a fleet scheduler or ``timeout(1)`` sends; SIGINT
+    is Ctrl-C.  Registering both unifies interactive interruption with
+    the orchestrated stop: one drain-flush-resume path, distinguished
+    only by the exit code (``128 + signum``: 130 vs 143).
+    :class:`ShutdownRequested` carries the signal number for that.
+
+    Installing a handler is only legal in the main thread; elsewhere
+    the context manager degrades to a no-op so library callers never
+    crash.  Prior handlers are restored on exit even when installation
+    failed partway through.
     """
 
     def _handler(signum, frame):  # noqa: ARG001 - signal handler signature
@@ -266,11 +281,16 @@ def graceful_shutdown(signals: tuple[int, ...] = (signal.SIGTERM,),
 
     installed: dict[int, object] = {}
     try:
-        for signum in signals:
-            installed[signum] = signal.signal(signum, _handler)
-    except ValueError:  # pragma: no cover - non-main thread
-        installed = {}
-    try:
+        try:
+            for signum in signals:
+                installed[signum] = signal.signal(signum, _handler)
+        except ValueError:  # pragma: no cover - non-main thread
+            # Restore whatever *did* get installed before degrading to
+            # a no-op — a half-installed handler set would otherwise
+            # leak past this context manager.
+            for signum, previous in installed.items():
+                signal.signal(signum, previous)
+            installed = {}
         yield
     finally:
         for signum, previous in installed.items():

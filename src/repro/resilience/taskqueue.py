@@ -1,0 +1,791 @@
+"""Durable on-disk task queue with lease-based, crash-safe work claims.
+
+The process-pool campaign engine is single-host by construction: its
+work items live in an executor's in-memory queue and die with the
+parent.  This module is the second :class:`~repro.campaign.scheduler`
+backend — a spool directory that makes *campaign completion a
+durability property*: every work item, lease and completion is an
+append-only, CRC-framed, fsynced event, so N independent ``repro
+worker`` processes can drain one sharded campaign and any of them (or
+the coordinator itself) can be SIGKILLed at any instant without losing
+or double-counting a run.
+
+**Spool layout** (one directory per campaign queue)::
+
+    <dir>/events.spool     append-only CRC-framed JSON events
+    <dir>/queue.lock       flock serializing mutating appends
+    <dir>/workers/<id>.hb  per-worker heartbeat files (atomic replace)
+
+**Event log.**  Every line reuses the v1 checkpoint framing
+(:func:`~repro.resilience.checkpoint.frame_line`): ``<crc32:8 hex>
+<json>``.  The first event is a header carrying the campaign identity
+hash — opening a spool whose identity names a different campaign
+raises :class:`~repro.resilience.checkpoint.CheckpointMismatchError`
+instead of silently merging two campaigns.  Then, in any order::
+
+    {"ev": "submit",    "seq": n, "key": [...], "payload": "..."}
+    {"ev": "close",     "total": N}
+    {"ev": "claim",     "seq": n, "worker": w, "token": t, "deadline": d}
+    {"ev": "heartbeat", "seq": n, "token": t, "deadline": d}
+    {"ev": "expire",    "seq": n, "token": t}
+    {"ev": "complete",  "seq": n, "token": t, "payload": "..."}
+
+**Lease state machine** (:class:`LeaseState`) is a pure replay of that
+log; every process — coordinator and workers alike — holds its own
+instance and catches up incrementally before acting.  The rules that
+make work stealing crash-safe:
+
+* A *claim* takes the lowest-``seq`` submitted, unfinished, unleased
+  task and stamps it with a **fencing token** — ``task.token + 1``,
+  strictly monotonic per task — plus a **monotonic-clock deadline**
+  (``CLOCK_MONOTONIC`` is system-wide on one host, so deadlines written
+  by one process are comparable in another; cross-host skew can only
+  make a steal *early*, never unsafe, because of the fencing check).
+* A *heartbeat* extends the deadline iff the token is still current.
+* An *expire* requeues a lease whose deadline passed; whoever observes
+  the overdue lease first (a worker wanting work, or the coordinator's
+  poll loop) appends it.  Replay is idempotent: a second expire for the
+  same token is a no-op.
+* A re-*claim* of a requeued task by a *different* worker is a
+  **steal**; the original holder's token is now stale, so even if that
+  worker is merely slow rather than dead, its late ``heartbeat`` /
+  ``complete`` events are **fenced off** (ignored on replay) — a run
+  is never completed twice.
+* A *complete* is recorded at most once per task; duplicates and
+  fenced completions are counted (:class:`QueueStats`) but ignored.
+
+**Durability.**  Mutating appends happen under an ``flock`` (claims
+are read-modify-append, so they must serialize), are flushed and
+fsynced, and creating the spool fsyncs the directory
+(:func:`~repro.resilience.checkpoint.fsync_directory`).  A writer
+killed mid-append leaves a torn tail line; the next writer repairs the
+framing by prefixing a newline, and replay skips the CRC-invalid
+fragment — the lost event degrades to "never happened", which every
+event kind tolerates (a lost claim re-claims, a lost complete re-runs
+deterministically).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.resilience.checkpoint import (
+    CheckpointMismatchError,
+    frame_line,
+    fsync_directory,
+    unframe_line,
+)
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "Claim",
+    "DurableTaskQueue",
+    "LeaseState",
+    "QueueStats",
+    "TaskRecord",
+    "TaskQueueError",
+]
+
+#: The spool format this writer produces (shares the checkpoint lineage).
+QUEUE_VERSION = 1
+
+#: How long past its ttl a worker heartbeat file still counts as live.
+_HEARTBEAT_GRACE = 2.0
+
+
+class TaskQueueError(RuntimeError):
+    """The spool is structurally unusable (not: corrupt lines, which
+    are skipped) — e.g. a submit re-used a seq for a different key."""
+
+
+# ----------------------------------------------------------------------
+# Pure lease state machine (replay of the event log)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TaskRecord:
+    """One task's replayed state."""
+
+    seq: int
+    key: tuple
+    payload: object = None  # opaque submit payload (or a disk ref)
+    done: bool = False
+    outcome: object = None  # opaque completion payload (or a disk ref)
+    worker: str | None = None  # current / last lease holder
+    token: int = 0  # fencing token of the current / last lease
+    deadline: float | None = None  # monotonic deadline of an active lease
+    active: bool = False  # a lease is currently held
+    requeued_from: str | None = None  # holder of the lease that expired
+
+    def expired(self, now: float) -> bool:
+        return self.active and self.deadline is not None \
+            and now > self.deadline
+
+
+@dataclass
+class QueueStats:
+    """Replay-derived health numbers (feed the ``repro.obs`` gauges)."""
+
+    submitted: int = 0
+    completed: int = 0
+    expired: int = 0  # leases_expired_total
+    stolen: int = 0  # runs_stolen_total
+    fenced: int = 0  # stale-token heartbeats/completes ignored
+    invalid: int = 0  # structurally invalid events skipped on replay
+
+
+class LeaseState:
+    """In-memory lease state: a pure, deterministic replay of events.
+
+    ``apply`` returns a *disposition* string — ``"submit"``,
+    ``"close"``, ``"claim"``, ``"steal"``, ``"heartbeat"``,
+    ``"expire"``, ``"complete"``, ``"fenced"``, ``"noop"`` or
+    ``"invalid"`` — so observers (the coordinator's counter/breaker
+    routing, the property tests) can react to each event exactly once,
+    in log order, without re-deriving it.
+    """
+
+    def __init__(self) -> None:
+        self.tasks: dict[int, TaskRecord] = {}
+        self.identity: str | None = None
+        self.version: int = 0
+        self.default_lease_s: float | None = None
+        self.closed: bool = False
+        self.total: int | None = None
+        self.stats = QueueStats()
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def done_count(self) -> int:
+        return self.stats.completed
+
+    def depth(self) -> int:
+        """Tasks not yet completed (pending + leased)."""
+        return len(self.tasks) - self.stats.completed
+
+    def active_leases(self, now: float) -> int:
+        return sum(1 for task in self.tasks.values()
+                   if task.active and not task.expired(now))
+
+    def drained(self) -> bool:
+        """Every submitted task of a closed queue is complete."""
+        return self.closed and self.total is not None \
+            and self.stats.completed >= self.total
+
+    def claimable_seq(self, now: float) -> int | None:
+        """Lowest seq immediately claimable (unleased, not done)."""
+        best: int | None = None
+        for seq, task in self.tasks.items():
+            if task.done or task.active:
+                continue
+            if best is None or seq < best:
+                best = seq
+        return best
+
+    def expired_leases(self, now: float) -> list[tuple[int, int]]:
+        """``(seq, token)`` of every overdue active lease."""
+        return sorted((task.seq, task.token) for task in self.tasks.values()
+                      if task.expired(now))
+
+    # -- replay ---------------------------------------------------------
+
+    def apply(self, event: dict, payload: object = None) -> str:
+        """Fold one decoded event in; returns its disposition.
+
+        ``payload`` overrides the event's own ``payload`` field (the
+        disk-backed queue passes ``(offset, length)`` refs so large
+        completion payloads never live in memory twice).
+        """
+        kind = event.get("ev")
+        if kind == "header":
+            self.version = int(event.get("version", 0))
+            identity = event.get("identity")
+            self.identity = None if identity is None else str(identity)
+            lease = event.get("lease_s")
+            self.default_lease_s = None if lease is None else float(lease)
+            return "header"
+        if kind == "submit":
+            return self._apply_submit(event, payload)
+        if kind == "close":
+            total = event.get("total")
+            if self.closed or not isinstance(total, int):
+                return "noop"
+            self.closed, self.total = True, total
+            return "close"
+        if kind in ("claim", "heartbeat", "expire", "complete"):
+            return self._apply_lease_event(kind, event, payload)
+        self.stats.invalid += 1
+        return "invalid"
+
+    def _apply_submit(self, event: dict, payload: object) -> str:
+        try:
+            seq = int(event["seq"])
+            key = tuple(event["key"])
+        except (KeyError, TypeError, ValueError):
+            self.stats.invalid += 1
+            return "invalid"
+        existing = self.tasks.get(seq)
+        if existing is not None:
+            if existing.key != key:
+                raise TaskQueueError(
+                    f"task queue seq {seq} re-submitted with a different "
+                    f"key ({existing.key} != {key}); the spool mixes two "
+                    f"schedules — use a fresh queue directory")
+            return "noop"  # idempotent resubmit (coordinator restart)
+        self.tasks[seq] = TaskRecord(
+            seq=seq, key=key,
+            payload=payload if payload is not None else event.get("payload"))
+        self.stats.submitted += 1
+        return "submit"
+
+    def _apply_lease_event(self, kind: str, event: dict,
+                           payload: object) -> str:
+        try:
+            seq = int(event["seq"])
+            token = int(event["token"])
+        except (KeyError, TypeError, ValueError):
+            self.stats.invalid += 1
+            return "invalid"
+        task = self.tasks.get(seq)
+        if task is None:
+            self.stats.invalid += 1
+            return "invalid"
+        if kind == "claim":
+            # Writers compute token = task.token + 1 under the lock, so
+            # a mismatched token on replay is a fenced/duplicated write.
+            if task.done or task.active or token != task.token + 1:
+                self.stats.fenced += 1
+                return "fenced"
+            task.token = token
+            task.worker = str(event.get("worker", ""))
+            task.deadline = float(event.get("deadline", 0.0))
+            task.active = True
+            stolen_from, task.requeued_from = task.requeued_from, None
+            if stolen_from is not None and stolen_from != task.worker:
+                self.stats.stolen += 1
+                return "steal"
+            return "claim"
+        if kind == "heartbeat":
+            if not task.active or token != task.token:
+                self.stats.fenced += 1
+                return "fenced"
+            task.deadline = float(event.get("deadline", task.deadline or 0.0))
+            return "heartbeat"
+        if kind == "expire":
+            if not task.active or token != task.token:
+                return "noop"  # raced with another observer: idempotent
+            task.active = False
+            task.requeued_from = task.worker
+            self.stats.expired += 1
+            return "expire"
+        # complete
+        if task.done or not task.active or token != task.token:
+            self.stats.fenced += 1
+            return "fenced"
+        task.done = True
+        task.active = False
+        task.outcome = payload if payload is not None \
+            else event.get("payload")
+        self.stats.completed += 1
+        return "complete"
+
+
+# ----------------------------------------------------------------------
+# Disk-backed queue
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One successfully claimed task: identity + fencing credentials."""
+
+    seq: int
+    token: int
+    worker: str
+    key: tuple
+    payload: str  # decoded submit payload (opaque to the queue)
+
+
+@dataclass
+class _PayloadRef:
+    """Where a payload string lives inside ``events.spool``."""
+
+    offset: int
+    length: int
+
+
+class _FlockHandle:
+    """``flock``-based inter-process mutex over ``<dir>/queue.lock``.
+
+    Falls back to an ``O_EXCL`` spin lock where ``fcntl`` is missing
+    (non-POSIX); either way, release-on-process-death holds — flock
+    drops with the fd, and the spin lock carries the owner pid so a
+    stale lock from a dead process is broken.
+    """
+
+    def __init__(self, path: Path):
+        self.path = path
+        try:
+            import fcntl
+            self._fcntl = fcntl
+        except ImportError:  # pragma: no cover - non-POSIX
+            self._fcntl = None
+        self._fd: int | None = None
+
+    def acquire(self) -> None:
+        if self._fcntl is not None:
+            self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            self._fcntl.flock(self._fd, self._fcntl.LOCK_EX)
+            return
+        self._acquire_spin()  # pragma: no cover - non-POSIX
+
+    def release(self) -> None:
+        if self._fcntl is not None:
+            if self._fd is not None:
+                self._fcntl.flock(self._fd, self._fcntl.LOCK_UN)
+                os.close(self._fd)
+                self._fd = None
+            return
+        self._release_spin()  # pragma: no cover - non-POSIX
+
+    def _acquire_spin(self) -> None:  # pragma: no cover - non-POSIX
+        spin_path = self.path.with_suffix(".spin")
+        while True:
+            try:
+                fd = os.open(spin_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.write(fd, str(os.getpid()).encode("ascii"))
+                os.close(fd)
+                return
+            except FileExistsError:
+                try:
+                    pid = int(spin_path.read_text() or "0")
+                    os.kill(pid, 0)
+                except (OSError, ValueError):
+                    spin_path.unlink(missing_ok=True)  # stale: owner died
+                    continue
+                time.sleep(0.01)
+
+    def _release_spin(self) -> None:  # pragma: no cover - non-POSIX
+        self.path.with_suffix(".spin").unlink(missing_ok=True)
+
+
+class DurableTaskQueue:
+    """The disk-backed queue: event-log append + incremental replay.
+
+    One instance per process; the coordinator opens it with the
+    campaign ``identity`` (verified against the spool header) and
+    ``payload_mode="ref"`` (completion payloads stay on disk until
+    consumed), workers open it anonymously with ``payload_mode="drop"``
+    (they never read completions).  ``clock`` must be the same
+    monotonic clock in every process sharing the spool.
+    """
+
+    def __init__(self, root: str | Path, identity: str | None = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 payload_mode: str = "ref", fsync: bool = True,
+                 default_lease_s: float | None = None):
+        if payload_mode not in ("ref", "drop", "inline"):
+            raise ValueError(f"unknown payload_mode {payload_mode!r}")
+        self.root = Path(root)
+        self.identity = identity
+        self.default_lease_s = default_lease_s  # advertised in the header
+        self.clock = clock
+        self.payload_mode = payload_mode
+        self.fsync = fsync
+        self.state = LeaseState()
+        self.events_path = self.root / "events.spool"
+        self.workers_dir = self.root / "workers"
+        self._lock = _FlockHandle(self.root / "queue.lock")
+        self._mutex = threading.RLock()  # heartbeat-thread safety
+        self._offset = 0  # replay position into events.spool
+        self._skipped_lines = 0
+        self._dispositions: list[tuple[str, int, str]] = []
+        self._next_seq = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def open(self, create: bool = False) -> bool:
+        """Attach to the spool; ``create=True`` initialises a new one.
+
+        Returns False when the spool does not exist yet (workers poll
+        until the coordinator creates it).  Raises
+        ``CheckpointMismatchError`` when the header identity and this
+        queue's identity both exist and disagree.
+        """
+        if not self.events_path.exists():
+            if not create:
+                return False
+            self.root.mkdir(parents=True, exist_ok=True)
+            self.workers_dir.mkdir(exist_ok=True)
+            with self._locked():
+                if not self.events_path.exists():
+                    self._append_events([{
+                        "ev": "header", "version": QUEUE_VERSION,
+                        "identity": self.identity,
+                        "lease_s": self.default_lease_s}])
+                    if self.fsync:
+                        fsync_directory(self.root)
+        self.catch_up()
+        self._check_identity()
+        return True
+
+    def _check_identity(self) -> None:
+        if self.identity is None or self.state.identity is None:
+            return
+        if self.identity != self.state.identity:
+            raise CheckpointMismatchError(
+                f"task queue {self.root} belongs to a different campaign "
+                f"(spool identity {self.state.identity}, this campaign "
+                f"{self.identity}); use a fresh --queue-dir or rerun with "
+                f"the original seed/config/operators")
+
+    # -- coordinator API ------------------------------------------------
+
+    def submit(self, key: tuple, payload: str) -> int:
+        """Durably enqueue one task; idempotent across restarts.
+
+        Tasks are numbered in submit order, which the coordinator calls
+        in schedule order — so draining completions by ascending seq
+        *is* the schedule-order merge.  A restarted coordinator
+        re-submitting the same schedule is a no-op per existing seq
+        (the key is verified), so resuming against a half-drained spool
+        is safe.
+        """
+        with self._mutex:
+            self.catch_up()
+            seq = self._next_seq
+            self._next_seq += 1
+            existing = self.state.tasks.get(seq)
+            if existing is not None:
+                if existing.key != tuple(key):
+                    raise TaskQueueError(
+                        f"task queue seq {seq} already holds key "
+                        f"{existing.key}, not {tuple(key)}; the spool mixes "
+                        f"two schedules — use a fresh queue directory")
+                return seq
+            with self._locked():
+                self.catch_up()
+                if seq not in self.state.tasks:
+                    self._append_events([{"ev": "submit", "seq": seq,
+                                          "key": list(key),
+                                          "payload": payload}])
+            return seq
+
+    def close(self) -> None:
+        """Seal the queue: no more submits; workers may drain and exit."""
+        with self._mutex:
+            self.catch_up()
+            if self.state.closed:
+                return
+            with self._locked():
+                self.catch_up()
+                if not self.state.closed:
+                    self._append_events([{"ev": "close",
+                                          "total": len(self.state.tasks)}])
+
+    def take_completion(self, seq: int) -> str | None:
+        """Pop task ``seq``'s completion payload, or None if unfinished.
+
+        In ``ref`` mode the payload is read back from the spool only
+        now, and the in-memory ref is dropped after — the coordinator
+        holds at most one completion payload at a time regardless of
+        how far ahead of the merge the workers have raced.
+        """
+        with self._mutex:
+            task = self.state.tasks.get(seq)
+            if task is None or not task.done:
+                return None
+            outcome, task.outcome = task.outcome, None
+            if isinstance(outcome, _PayloadRef):
+                return self._read_payload_ref(outcome)
+            return outcome  # inline payload, or None if already taken
+
+    def expire_overdue(self) -> list[tuple[int, str]]:
+        """Append expire events for every overdue lease (coordinator poll).
+
+        Returns ``(seq, worker)`` for each lease actually expired here.
+        Workers do the same opportunistically inside :meth:`claim`, so
+        whichever side looks first requeues the work.
+        """
+        with self._mutex:
+            self.catch_up()
+            overdue = self.state.expired_leases(self.clock())
+            if not overdue:
+                return []
+            expired: list[tuple[int, str]] = []
+            with self._locked():
+                self.catch_up()
+                events = []
+                for seq, token in self.state.expired_leases(self.clock()):
+                    task = self.state.tasks[seq]
+                    events.append({"ev": "expire", "seq": seq,
+                                   "token": token})
+                    expired.append((seq, task.worker or "?"))
+                if events:
+                    self._append_events(events)
+            return expired
+
+    def drain_dispositions(self) -> list[tuple[str, int, str]]:
+        """New ``(disposition, seq, worker)`` tuples since the last call.
+
+        Each replayed event is reported exactly once per process, in
+        log order — the coordinator's counter/breaker routing consumes
+        this.
+        """
+        with self._mutex:
+            self.catch_up()
+            out, self._dispositions = self._dispositions, []
+            return out
+
+    # -- worker API -----------------------------------------------------
+
+    def claim(self, worker: str, lease_s: float) -> Claim | None:
+        """Claim the lowest-seq available task under a ``lease_s`` lease.
+
+        Expired leases encountered along the way are requeued first, so
+        a claim by a different worker is exactly a steal.  Returns None
+        when nothing is claimable right now.
+        """
+        with self._mutex:
+            self.catch_up()
+            now = self.clock()
+            if self.state.claimable_seq(now) is None \
+                    and not self.state.expired_leases(now):
+                return None  # cheap lock-free fast path
+            with self._locked():
+                self.catch_up()
+                now = self.clock()
+                overdue = self.state.expired_leases(now)
+                events = [{"ev": "expire", "seq": seq, "token": token}
+                          for seq, token in overdue]
+                overdue_seqs = {seq for seq, _ in overdue}
+                # Claim target: lowest seq that is unfinished and either
+                # unleased or being requeued by the expiries above.  The
+                # expire events precede the claim in the log, so replay
+                # (everyone's, including ours below) sees a consistent
+                # requeue-then-claim sequence.
+                seq = None
+                for cand, task in self.state.tasks.items():
+                    if task.done or (task.active
+                                     and cand not in overdue_seqs):
+                        continue
+                    if seq is None or cand < seq:
+                        seq = cand
+                if seq is None:
+                    if events:
+                        self._append_events(events)
+                    return None
+                task = self.state.tasks[seq]
+                token = task.token + 1  # expire never advances the token
+                events.append({"ev": "claim", "seq": seq, "worker": worker,
+                               "token": token, "deadline": now + lease_s})
+                self._append_events(events)
+                payload = task.payload
+                if isinstance(payload, _PayloadRef):
+                    payload = self._read_payload_ref(payload)
+                return Claim(seq=seq, token=token, worker=worker,
+                             key=task.key, payload=payload)
+
+    def heartbeat(self, claim: Claim, lease_s: float) -> bool:
+        """Extend a held lease; False when the lease was fenced off."""
+        with self._mutex:
+            self.catch_up()
+            task = self.state.tasks.get(claim.seq)
+            if task is None or not task.active or task.token != claim.token:
+                return False
+            with self._locked():
+                self.catch_up()
+                task = self.state.tasks.get(claim.seq)
+                if task is None or not task.active \
+                        or task.token != claim.token:
+                    return False
+                self._append_events([{"ev": "heartbeat", "seq": claim.seq,
+                                      "token": claim.token,
+                                      "deadline": self.clock() + lease_s}])
+            return True
+
+    def complete(self, claim: Claim, payload: str) -> bool:
+        """Durably record a completion; False when fenced (discarded).
+
+        Fencing is the no-double-completion guarantee: if this worker's
+        lease expired and the run was stolen, its token is stale and
+        the completion is rejected — the thief's completion (of the
+        identical deterministic run) is the one that counts.
+        """
+        with self._mutex:
+            with self._locked():
+                self.catch_up()
+                task = self.state.tasks.get(claim.seq)
+                if task is None or task.done or not task.active \
+                        or task.token != claim.token:
+                    return False
+                self._append_events([{"ev": "complete", "seq": claim.seq,
+                                      "token": claim.token,
+                                      "payload": payload}])
+            return True
+
+    # -- worker liveness ------------------------------------------------
+
+    def write_worker_heartbeat(self, worker: str, ttl_s: float) -> None:
+        """Refresh this worker's liveness file (atomic replace)."""
+        self.workers_dir.mkdir(parents=True, exist_ok=True)
+        path = self.workers_dir / f"{worker}.hb"
+        tmp = path.with_suffix(".hb.tmp")
+        tmp.write_text(json.dumps({"pid": os.getpid(), "mono": self.clock(),
+                                   "ttl": ttl_s}), encoding="utf-8")
+        os.replace(tmp, path)
+
+    def live_workers(self) -> list[str]:
+        """Workers whose heartbeat file is within its ttl (+grace)."""
+        if not self.workers_dir.exists():
+            return []
+        now = self.clock()
+        live = []
+        for path in sorted(self.workers_dir.glob("*.hb")):
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+                if now - float(data["mono"]) \
+                        <= float(data["ttl"]) * _HEARTBEAT_GRACE:
+                    live.append(path.stem)
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+        return live
+
+    # -- replay / append internals --------------------------------------
+
+    def _locked(self) -> "_LockScope":
+        return _LockScope(self._lock)
+
+    def catch_up(self) -> None:
+        """Replay any events appended since the last catch-up.
+
+        Only whole, newline-terminated lines are consumed; a torn tail
+        (a writer died mid-append) is left unread until a later writer
+        repairs the framing.  CRC-invalid lines are skipped and
+        counted, never fatal.
+        """
+        with self._mutex:
+            if not self.events_path.exists():
+                return
+            with self.events_path.open("rb") as handle:
+                handle.seek(self._offset)
+                data = handle.read()
+            if not data:
+                return
+            end = data.rfind(b"\n")
+            if end < 0:
+                return  # only a torn tail so far
+            consumed = data[:end + 1]
+            offset = self._offset
+            self._offset += len(consumed)
+            for raw in consumed.split(b"\n")[:-1]:
+                line_offset = offset
+                offset += len(raw) + 1
+                stripped = raw.decode("utf-8", errors="replace").strip()
+                if not stripped:
+                    continue
+                payload_text, crc_ok = unframe_line(stripped)
+                if crc_ok is not True:
+                    self._skipped_lines += 1
+                    logger.warning("task queue %s: skipped corrupt spool "
+                                   "line at byte %d", self.root, line_offset)
+                    continue
+                self._replay_line(payload_text, line_offset, len(raw))
+
+    def _replay_line(self, payload_text: str, line_offset: int,
+                     line_length: int) -> None:
+        try:
+            event = json.loads(payload_text)
+        except json.JSONDecodeError:
+            self._skipped_lines += 1
+            return
+        if not isinstance(event, dict):
+            self._skipped_lines += 1
+            return
+        payload_override = None
+        if self.payload_mode != "inline" and isinstance(
+                event.get("payload"), str):
+            if self.payload_mode == "drop" and event.get("ev") == "complete":
+                payload_override = ""  # workers never read completions
+            else:
+                # The payload is the JSON string field; rather than hold
+                # it, remember where the framed line lives and re-read
+                # on demand.
+                payload_override = _PayloadRef(offset=line_offset,
+                                               length=line_length)
+        disposition = self.state.apply(event, payload=payload_override)
+        worker = str(event.get("worker") or "")
+        if disposition == "expire":
+            task = self.state.tasks.get(int(event.get("seq", -1)))
+            worker = task.requeued_from or "" if task is not None else ""
+        if disposition == "steal":
+            task = self.state.tasks.get(int(event.get("seq", -1)))
+            worker = task.worker or "" if task is not None else ""
+        self._dispositions.append(
+            (disposition, int(event.get("seq", -1)), worker))
+
+    def _read_payload_ref(self, ref: _PayloadRef) -> str | None:
+        with self.events_path.open("rb") as handle:
+            handle.seek(ref.offset)
+            raw = handle.read(ref.length)
+        payload_text, crc_ok = unframe_line(
+            raw.decode("utf-8", errors="replace").strip())
+        if crc_ok is not True:
+            return None
+        try:
+            event = json.loads(payload_text)
+            value = event.get("payload")
+            return value if isinstance(value, str) else None
+        except json.JSONDecodeError:
+            return None
+
+    def _append_events(self, events: list[dict]) -> None:
+        """Append framed events; caller must hold the flock.
+
+        Our own writes are folded into local state by replaying them
+        through the normal :meth:`catch_up` path afterwards — we hold
+        the lock, so what we read back is exactly what we wrote (plus,
+        harmlessly, anything appended before we acquired it).
+        """
+        created = not self.events_path.exists()
+        with self.events_path.open("ab") as handle:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() > 0:
+                # Repair a torn tail left by a writer killed mid-append:
+                # a leading newline isolates the fragment into its own
+                # (CRC-invalid, skipped) line instead of corrupting ours.
+                with self.events_path.open("rb") as reader:
+                    reader.seek(-1, os.SEEK_END)
+                    if reader.read(1) != b"\n":
+                        handle.write(b"\n")
+            for event in events:
+                encoded = frame_line(json.dumps(event)) + "\n"
+                handle.write(encoded.encode("utf-8"))
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        if created and self.fsync:
+            fsync_directory(self.root)
+        self.catch_up()
+
+
+class _LockScope:
+    def __init__(self, lock: _FlockHandle):
+        self._lock = lock
+
+    def __enter__(self) -> "_LockScope":
+        self._lock.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._lock.release()

@@ -20,9 +20,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.obs import instrumented, make_instrumentation
+from repro.resilience import checkpoint as checkpoint_module
 from repro.resilience.checkpoint import (
     CampaignCheckpoint,
     CheckpointMismatchError,
+    frame_line,
+    fsync_directory,
+    unframe_line,
 )
 from tests.test_obs_metrics import FakeClock
 
@@ -107,6 +111,51 @@ class TestIdentityCheck:
         assert report.identity is None
         assert len(report.entries) == 3
         assert report.lines_skipped == 0
+
+
+class TestFramingAndDirectoryFsync:
+    """The public v1 framing helpers and the create-time directory fsync.
+
+    ``frame_line``/``unframe_line`` are shared with the task-queue
+    spool, and the directory fsync on file *creation* is what makes a
+    brand-new checkpoint (or spool) survive a power cut — an fsynced
+    file whose directory entry was never flushed simply vanishes.
+    """
+
+    def test_frame_round_trip(self):
+        payload = '{"key": ["OP_V", "A9", "A9-P0", 0]}'
+        text, crc_ok = unframe_line(frame_line(payload))
+        assert (text, crc_ok) == (payload, True)
+
+    def test_corrupted_frame_fails_the_crc(self):
+        framed = frame_line("payload")
+        _, crc_ok = unframe_line(framed[:-1] + "X")
+        assert crc_ok is False
+
+    def test_fsync_directory_flushes_a_real_directory(self, tmp_path):
+        fsync_directory(tmp_path)  # must not raise on a plain directory
+
+    def test_directory_fsynced_exactly_once_on_creation(
+            self, tmp_path, monkeypatch):
+        calls = []
+        monkeypatch.setattr(checkpoint_module, "fsync_directory",
+                            lambda path: calls.append(Path(path)))
+        checkpoint = CampaignCheckpoint(tmp_path / "c.ckpt",
+                                        identity="cafe1234")
+        checkpoint.record_success(("OP_V", "A9", "A9-P0", 0), "{}")
+        assert calls == [tmp_path]  # the new file's directory entry
+        checkpoint.record_success(("OP_V", "A9", "A9-P1", 1), "{}")
+        assert calls == [tmp_path]  # appends never re-fsync the directory
+
+    def test_no_fsync_mode_skips_the_directory_fsync(
+            self, tmp_path, monkeypatch):
+        calls = []
+        monkeypatch.setattr(checkpoint_module, "fsync_directory",
+                            lambda path: calls.append(Path(path)))
+        checkpoint = CampaignCheckpoint(tmp_path / "c.ckpt",
+                                        identity="cafe1234", fsync=False)
+        checkpoint.record_success(("OP_V", "A9", "A9-P0", 0), "{}")
+        assert calls == []
 
 
 class TestCorruptionTolerance:

@@ -1,0 +1,249 @@
+"""Queue scheduler: multi-worker drain, SIGKILL stealing, bit-identity.
+
+Two layers under test:
+
+* :class:`QueueScheduler` units — the pump routing (lease expiry →
+  ``leases_expired_total`` + breaker failure, steal →
+  ``runs_stolen_total`` + breaker rebuild, gauges tracking
+  depth/leases) and the stalled-queue breaker trip,
+* the acceptance end-to-end: a campaign drained through the durable
+  queue by two independent ``repro worker`` subprocesses — one of
+  which SIGKILLs itself mid-campaign so the survivor steals its lease
+  — must produce a report, checkpoint bytes and counters bit-identical
+  to the same campaign run sequentially.
+
+The end-to-end tests must use real subprocesses: the ``repro.obs``
+instrumentation context is a module global, so in-process worker
+threads would share (and corrupt) the coordinator's registry.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro.campaign.scheduler import (
+    PendingRun,
+    QueueScheduler,
+    decode_payload,
+    encode_payload,
+)
+from repro.obs import instrumented, make_instrumentation
+from repro.resilience.supervision import CircuitBreaker, CircuitBreakerOpen
+from repro.resilience.taskqueue import DurableTaskQueue
+from tests.test_obs_metrics import FakeClock
+
+#: Counters that only exist on the queue coordinator (lease health);
+#: everything else must match a sequential run bit-for-bit.
+QUEUE_ONLY_COUNTERS = {"leases_expired_total", "runs_stolen_total"}
+
+CAMPAIGN_ARGS = ["--operator", "OP_V", "--areas", "A9",
+                 "--locations", "2", "--runs", "2",
+                 "--duration", "60", "--seed", "0"]
+
+ENV = {**os.environ,
+       "PYTHONPATH": str(Path(__file__).parent.parent / "src")}
+
+
+# ----------------------------------------------------------------------
+# QueueScheduler units
+# ----------------------------------------------------------------------
+
+
+def make_queue(root, clock):
+    queue = DurableTaskQueue(root, clock=clock, payload_mode="ref",
+                             fsync=False)
+    assert queue.open(create=True)
+    return queue
+
+
+class TestQueueSchedulerPump:
+    def test_drain_merges_completion_and_tracks_gauges(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path / "q", clock)
+
+        def worker_turn(_delay):
+            claim = queue.claim("w1", lease_s=10.0)
+            if claim is not None:
+                task = decode_payload(claim.payload)
+                queue.complete(claim, encode_payload(("ran", task.key)))
+
+        scheduler = QueueScheduler(queue, CircuitBreaker(), poll_s=0.01,
+                                   stall_s=0.0, sleep=worker_turn)
+        task = SimpleNamespace(key=("OP_V", "A9", "A9-P0", 0))
+        item = PendingRun(scheduled=SimpleNamespace(key=task.key), task=task)
+        with instrumented(make_instrumentation(clock=FakeClock())) as obs:
+            scheduler.submit(item)
+            registry = obs.registry
+            scheduler._pump()
+            assert registry.gauge("queue_depth").value() == 1
+            scheduler.seal()
+            drained = scheduler.drain(item)
+            scheduler.shutdown()
+        assert drained.error is None
+        assert drained.outcome == ("ran", task.key)
+        assert registry.gauge("queue_depth").value() == 0
+        assert registry.gauge("leases_active").value() == 0
+        assert registry.counter("leases_expired_total").total() == 0
+
+    def test_expiry_and_steal_route_into_counters_and_breaker(
+            self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path / "q", clock)
+        breaker = CircuitBreaker()
+        scheduler = QueueScheduler(queue, breaker, stall_s=0.0)
+        task = SimpleNamespace(key=("OP_V", "A9", "A9-P0", 0))
+        item = PendingRun(scheduled=SimpleNamespace(key=task.key), task=task)
+        with instrumented(make_instrumentation(clock=FakeClock())) as obs:
+            scheduler.submit(item)
+            queue.claim("victim", lease_s=5.0)
+            scheduler._pump()
+            registry = obs.registry
+            assert registry.gauge("leases_active").value() == 1
+            clock.advance(5.1)
+            scheduler._pump()  # expires the overdue lease
+            assert registry.counter("leases_expired_total").total() == 1
+            assert breaker.failures_total == 1
+            queue.claim("thief", lease_s=5.0)
+            scheduler._pump()  # replays the re-claim: a steal
+            assert registry.counter("runs_stolen_total").total() == 1
+            assert any("stolen by worker thief" in event
+                       for event in breaker.events)
+
+    def test_steal_storm_trips_the_breaker(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path / "q", clock)
+        scheduler = QueueScheduler(queue, CircuitBreaker(max_rebuilds=2),
+                                   stall_s=0.0)
+        task = SimpleNamespace(key=("OP_V", "A9", "A9-P0", 0))
+        item = PendingRun(scheduled=SimpleNamespace(key=task.key), task=task)
+        with instrumented(make_instrumentation(clock=FakeClock())):
+            scheduler.submit(item)
+            with pytest.raises(CircuitBreakerOpen, match="rebuild"):
+                for index in range(4):
+                    queue.claim(f"w{index}", lease_s=5.0)
+                    clock.advance(5.1)
+                    scheduler._pump()
+
+    def test_stalled_queue_trips_with_a_worker_hint(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path / "q", clock)
+        scheduler = QueueScheduler(queue, CircuitBreaker(), stall_s=30.0)
+        item = PendingRun(
+            scheduled=SimpleNamespace(key=("OP_V", "A9", "A9-P0", 0)))
+        clock.advance(31.0)
+        with instrumented(make_instrumentation(clock=FakeClock())):
+            with pytest.raises(CircuitBreakerOpen, match="repro worker"):
+                scheduler._check_stall(item)
+
+    def test_live_workers_defer_the_stall_trip(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path / "q", clock)
+        scheduler = QueueScheduler(queue, CircuitBreaker(), stall_s=30.0)
+        item = PendingRun(
+            scheduled=SimpleNamespace(key=("OP_V", "A9", "A9-P0", 0)))
+        queue.write_worker_heartbeat("w1", ttl_s=60.0)
+        clock.advance(31.0)
+        scheduler._check_stall(item)  # benefit of the doubt: no trip
+
+
+# ----------------------------------------------------------------------
+# End-to-end: subprocess workers draining a real campaign
+# ----------------------------------------------------------------------
+
+
+def run_cli(args, timeout=300, **kwargs):
+    return subprocess.run([sys.executable, "-m", "repro", *args],
+                          env=ENV, capture_output=True, text=True,
+                          timeout=timeout, **kwargs)
+
+
+def load_counters(path):
+    counters = json.loads(Path(path).read_text())["counters"]
+    return {name: series for name, series in counters.items()
+            if name not in QUEUE_ONLY_COUNTERS}
+
+
+def counter_total(path, name):
+    counters = json.loads(Path(path).read_text())["counters"]
+    return sum(counters.get(name, {}).values())
+
+
+@pytest.fixture(scope="module")
+def sequential(tmp_path_factory):
+    """The ``workers=1`` oracle every queue drain must match."""
+    root = tmp_path_factory.mktemp("sequential")
+    checkpoint = root / "ck.jsonl"
+    metrics = root / "metrics.json"
+    proc = run_cli(["campaign", *CAMPAIGN_ARGS,
+                    "--checkpoint", str(checkpoint),
+                    "--metrics-out", str(metrics)])
+    assert proc.returncode == 0, proc.stderr
+    return SimpleNamespace(stdout=proc.stdout,
+                           checkpoint_bytes=checkpoint.read_bytes(),
+                           counters=load_counters(metrics))
+
+
+def run_queue_campaign(tmp_path, worker_extra_args):
+    """Start workers first (they poll for the spool), then coordinate."""
+    queue_dir = tmp_path / "qdir"
+    checkpoint = tmp_path / "ck.jsonl"
+    metrics = tmp_path / "metrics.json"
+    workers = [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker",
+             "--queue-dir", str(queue_dir),
+             "--worker-id", f"w{index}", *extra],
+            env=ENV, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+        for index, extra in enumerate(worker_extra_args)]
+    try:
+        coordinator = run_cli(["campaign", *CAMPAIGN_ARGS,
+                               "--scheduler", "queue",
+                               "--queue-dir", str(queue_dir),
+                               "--lease-timeout", "10",
+                               "--checkpoint", str(checkpoint),
+                               "--metrics-out", str(metrics)])
+        worker_codes = [worker.wait(timeout=120) for worker in workers]
+    finally:
+        for worker in workers:
+            if worker.poll() is None:
+                worker.kill()
+            worker.communicate()
+    return SimpleNamespace(coordinator=coordinator, worker_codes=worker_codes,
+                           checkpoint=checkpoint, metrics=metrics)
+
+
+class TestQueueDrainEndToEnd:
+    def test_two_workers_drain_bit_identical_to_sequential(
+            self, tmp_path, sequential):
+        outcome = run_queue_campaign(tmp_path, [[], []])
+        assert outcome.coordinator.returncode == 0, \
+            outcome.coordinator.stderr
+        assert outcome.worker_codes == [0, 0]
+        assert outcome.coordinator.stdout == sequential.stdout
+        assert outcome.checkpoint.read_bytes() == sequential.checkpoint_bytes
+        assert load_counters(outcome.metrics) == sequential.counters
+        assert counter_total(outcome.metrics, "runs_stolen_total") == 0
+
+    def test_sigkilled_worker_is_stolen_from_bit_identically(
+            self, tmp_path, sequential):
+        # w0 SIGKILLs itself right after its first claim (before
+        # executing it) under a short lease; w1 must steal the orphaned
+        # lease and the merge must not show a seam.
+        outcome = run_queue_campaign(
+            tmp_path, [["--fail-after", "1", "--lease", "3"], []])
+        assert outcome.coordinator.returncode == 0, \
+            outcome.coordinator.stderr
+        assert outcome.worker_codes[0] == -signal.SIGKILL
+        assert outcome.worker_codes[1] == 0
+        assert outcome.coordinator.stdout == sequential.stdout
+        assert outcome.checkpoint.read_bytes() == sequential.checkpoint_bytes
+        assert load_counters(outcome.metrics) == sequential.counters
+        assert counter_total(outcome.metrics, "runs_stolen_total") >= 1
+        assert counter_total(outcome.metrics, "leases_expired_total") >= 1

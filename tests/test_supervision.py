@@ -332,11 +332,46 @@ class TestGracefulShutdown:
                 os.kill(os.getpid(), signal.SIGTERM)
         assert info.value.signum == signal.SIGTERM
 
-    def test_previous_handler_restored(self):
-        previous = signal.getsignal(signal.SIGTERM)
+    def test_sigint_raises_shutdown_requested(self):
+        # Ctrl-C takes the same drain-flush-resume path as SIGTERM; the
+        # CLI distinguishes them only by exit code (128 + signum = 130).
+        with pytest.raises(ShutdownRequested) as info:
+            with graceful_shutdown():
+                os.kill(os.getpid(), signal.SIGINT)
+        assert info.value.signum == signal.SIGINT
+
+    def test_previous_handlers_restored_for_both_signals(self):
+        previous = {signum: signal.getsignal(signum)
+                    for signum in (signal.SIGTERM, signal.SIGINT)}
         with graceful_shutdown():
-            assert signal.getsignal(signal.SIGTERM) is not previous
-        assert signal.getsignal(signal.SIGTERM) is previous
+            for signum, handler in previous.items():
+                assert signal.getsignal(signum) is not handler
+        for signum, handler in previous.items():
+            assert signal.getsignal(signum) is previous[signum]
+
+    def test_non_main_thread_degrades_to_noop(self):
+        # Installing signal handlers is illegal off the main thread; the
+        # context manager must neither crash nor leave handlers changed.
+        previous = {signum: signal.getsignal(signum)
+                    for signum in (signal.SIGTERM, signal.SIGINT)}
+        failures = []
+
+        def library_caller():
+            try:
+                with graceful_shutdown():
+                    for signum, handler in previous.items():
+                        if signal.getsignal(signum) is not handler:
+                            failures.append(signum)
+            except BaseException as exc:  # noqa: BLE001 - test harness
+                failures.append(exc)
+
+        import threading
+        thread = threading.Thread(target=library_caller)
+        thread.start()
+        thread.join()
+        assert failures == []
+        for signum, handler in previous.items():
+            assert signal.getsignal(signum) is handler
 
     def test_shutdown_requested_is_not_an_exception(self):
         # It must bypass `except Exception` (the retry loop) like

@@ -1,0 +1,351 @@
+"""Durable task queue: leases, fencing tokens, crash-safe stealing.
+
+Three layers under test:
+
+* the disk-backed :class:`DurableTaskQueue` verbs — claim order,
+  idempotent submits, heartbeat extension, lease expiry and work
+  stealing, fenced completions, payload refs, identity checking and
+  torn-tail repair of the CRC-framed spool,
+* multi-instance replay: two queue instances over one spool (each with
+  its own replay offset, serialized by the flock) must observe each
+  other's events and agree,
+* a hypothesis property suite driving random
+  claim/heartbeat/expire/steal/complete interleavings against an
+  in-memory oracle: no run is ever completed twice, and no claimed run
+  is ever lost — after enough clock, every submitted task drains.
+"""
+
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience.checkpoint import CheckpointMismatchError, frame_line
+from repro.resilience.taskqueue import DurableTaskQueue, TaskQueueError
+from tests.test_obs_metrics import FakeClock
+
+
+def make_queue(root, clock=None, **kwargs):
+    kwargs.setdefault("payload_mode", "inline")
+    kwargs.setdefault("fsync", False)
+    queue = DurableTaskQueue(root, clock=clock or FakeClock(), **kwargs)
+    return queue
+
+
+def open_pair(root, clock):
+    """Coordinator-ish + worker-ish instance over one spool."""
+    first = make_queue(root, clock)
+    assert first.open(create=True)
+    second = make_queue(root, clock)
+    assert second.open()
+    return first, second
+
+
+# ----------------------------------------------------------------------
+# Basic verbs
+# ----------------------------------------------------------------------
+
+
+class TestSubmitAndClaim:
+    def test_open_without_create_reports_missing_spool(self, tmp_path):
+        queue = make_queue(tmp_path / "q")
+        assert queue.open() is False  # workers poll until this flips
+
+    def test_claims_lowest_seq_first(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path / "q", clock)
+        queue.open(create=True)
+        for index in range(3):
+            assert queue.submit((f"k{index}",), f"p{index}") == index
+        first = queue.claim("w1", lease_s=10.0)
+        second = queue.claim("w2", lease_s=10.0)
+        assert (first.seq, first.payload) == (0, "p0")
+        assert (second.seq, second.payload) == (1, "p1")
+        assert first.worker == "w1"
+
+    def test_submit_is_idempotent_per_seq(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path / "q", clock)
+        queue.open(create=True)
+        queue.submit(("k0",), "p0")
+        # A restarted coordinator re-submits the same schedule: the
+        # second instance starts its own seq counter from zero and the
+        # matching keys make every submit a no-op.
+        resumed = make_queue(tmp_path / "q", clock)
+        resumed.open()
+        assert resumed.submit(("k0",), "p0") == 0
+        assert resumed.state.stats.submitted == 1
+
+    def test_mismatched_resubmit_key_is_structural_error(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path / "q", clock)
+        queue.open(create=True)
+        queue.submit(("k0",), "p0")
+        resumed = make_queue(tmp_path / "q", clock)
+        resumed.open()
+        with pytest.raises(TaskQueueError, match="mixes two schedules"):
+            resumed.submit(("other",), "p0")
+
+    def test_nothing_claimable_returns_none(self, tmp_path):
+        queue = make_queue(tmp_path / "q")
+        queue.open(create=True)
+        assert queue.claim("w1", lease_s=10.0) is None
+
+    def test_drained_requires_close_and_all_completions(self, tmp_path):
+        queue = make_queue(tmp_path / "q")
+        queue.open(create=True)
+        queue.submit(("k0",), "p0")
+        assert not queue.state.drained()
+        queue.close()
+        assert not queue.state.drained()
+        claim = queue.claim("w1", lease_s=10.0)
+        assert queue.complete(claim, "done")
+        assert queue.state.drained()
+
+
+class TestLeaseLifecycle:
+    def test_heartbeat_extends_the_deadline(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path / "q", clock)
+        queue.open(create=True)
+        queue.submit(("k0",), "p0")
+        claim = queue.claim("w1", lease_s=10.0)
+        clock.advance(8.0)
+        assert queue.heartbeat(claim, lease_s=10.0) is True
+        clock.advance(8.0)  # 16s total: dead without the heartbeat
+        assert queue.state.expired_leases(clock()) == []
+        assert queue.complete(claim, "done") is True
+
+    def test_missed_heartbeats_expire_the_lease(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path / "q", clock)
+        queue.open(create=True)
+        queue.submit(("k0",), "p0")
+        claim = queue.claim("w1", lease_s=10.0)
+        clock.advance(10.1)
+        assert queue.expire_overdue() == [(0, "w1")]
+        assert queue.expire_overdue() == []  # idempotent
+        assert queue.heartbeat(claim, lease_s=10.0) is False  # fenced
+
+    def test_steal_fences_off_the_original_holder(self, tmp_path):
+        clock = FakeClock()
+        coordinator, thief = open_pair(tmp_path / "q", clock)
+        coordinator.submit(("k0",), "p0")
+        victim_claim = coordinator.claim("victim", lease_s=5.0)
+        clock.advance(5.1)
+        # The thief's claim expires the overdue lease and re-claims in
+        # one locked append: a steal.
+        stolen = thief.claim("thief", lease_s=5.0)
+        assert stolen.seq == 0
+        assert stolen.token == victim_claim.token + 1
+        # The slow-but-alive victim is fenced on every late verb.
+        assert coordinator.heartbeat(victim_claim, lease_s=5.0) is False
+        assert coordinator.complete(victim_claim, "late") is False
+        # Only the thief's completion counts — never two.
+        assert thief.complete(stolen, "won") is True
+        coordinator.catch_up()
+        assert coordinator.state.stats.completed == 1
+        assert coordinator.state.stats.stolen == 1
+        assert coordinator.take_completion(0) == "won"
+
+    def test_reclaim_by_same_worker_is_not_a_steal(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path / "q", clock)
+        queue.open(create=True)
+        queue.submit(("k0",), "p0")
+        queue.claim("w1", lease_s=5.0)
+        clock.advance(5.1)
+        reclaimed = queue.claim("w1", lease_s=5.0)
+        assert reclaimed is not None
+        assert queue.state.stats.expired == 1
+        assert queue.state.stats.stolen == 0
+
+
+class TestDispositionsAndPayloads:
+    def test_dispositions_reported_once_in_log_order(self, tmp_path):
+        clock = FakeClock()
+        coordinator, worker = open_pair(tmp_path / "q", clock)
+        coordinator.drain_dispositions()  # swallow header/open noise
+        coordinator.submit(("k0",), "p0")
+        claim = worker.claim("w1", lease_s=5.0)
+        worker.complete(claim, "done")
+        kinds = [kind for kind, _seq, _worker
+                 in coordinator.drain_dispositions()]
+        assert kinds == ["submit", "claim", "complete"]
+        assert coordinator.drain_dispositions() == []  # consumed exactly once
+
+    def test_take_completion_pops_the_payload_ref(self, tmp_path):
+        clock = FakeClock()
+        root = tmp_path / "q"
+        coordinator = make_queue(root, clock, payload_mode="ref")
+        coordinator.open(create=True)
+        coordinator.submit(("k0",), "p0")
+        claim = coordinator.claim("w1", lease_s=5.0)
+        assert coordinator.take_completion(0) is None  # not done yet
+        coordinator.complete(claim, "big-outcome")
+        assert coordinator.take_completion(0) == "big-outcome"
+        assert coordinator.take_completion(0) is None  # popped
+
+    def test_drop_mode_discards_completion_payloads(self, tmp_path):
+        clock = FakeClock()
+        root = tmp_path / "q"
+        coordinator = make_queue(root, clock)
+        coordinator.open(create=True)
+        coordinator.submit(("k0",), "p0")
+        worker = make_queue(root, clock, payload_mode="drop")
+        worker.open()
+        claim = worker.claim("w1", lease_s=5.0)
+        assert claim.payload == "p0"  # submits still decode
+        worker.complete(claim, "outcome")
+        assert worker.take_completion(0) == ""  # completions dropped
+
+
+class TestSpoolDurability:
+    def test_identity_mismatch_refuses_the_spool(self, tmp_path):
+        clock = FakeClock()
+        ours = make_queue(tmp_path / "q", clock, identity="aaaa0001")
+        ours.open(create=True)
+        foreign = make_queue(tmp_path / "q", clock, identity="bbbb0002")
+        with pytest.raises(CheckpointMismatchError, match="different"):
+            foreign.open()
+
+    def test_lease_advertised_in_header_is_inherited(self, tmp_path):
+        clock = FakeClock()
+        coordinator = make_queue(tmp_path / "q", clock, default_lease_s=12.5)
+        coordinator.open(create=True)
+        worker = make_queue(tmp_path / "q", clock)
+        worker.open()
+        assert worker.state.default_lease_s == 12.5
+
+    def test_torn_tail_is_repaired_and_skipped(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path / "q", clock)
+        queue.open(create=True)
+        queue.submit(("k0",), "p0")
+        # A writer SIGKILLed mid-append leaves an unterminated fragment.
+        with queue.events_path.open("ab") as handle:
+            handle.write(b'deadbeef {"ev": "compl')
+        # Readers refuse the torn tail until a writer repairs the framing.
+        late = make_queue(tmp_path / "q", clock)
+        late.open()
+        assert late.state.stats.submitted == 1
+        queue.submit(("k1",), "p1")  # repairs: newline isolates the fragment
+        late.catch_up()
+        assert late.state.stats.submitted == 2
+        assert late._skipped_lines == 1  # the fragment, CRC-invalid
+        assert late.claim("w1", lease_s=5.0).seq == 0
+
+    def test_corrupt_mid_spool_line_is_skipped_not_fatal(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path / "q", clock)
+        queue.open(create=True)
+        queue.submit(("k0",), "p0")
+        with queue.events_path.open("ab") as handle:
+            handle.write(b"00000000 {garbage}\n")
+            handle.write((frame_line('{"ev": "close", "total": 1}')
+                          + "\n").encode())
+        fresh = make_queue(tmp_path / "q", clock)
+        fresh.open()
+        assert fresh.state.closed
+        assert fresh._skipped_lines == 1
+
+    def test_worker_heartbeat_files_gate_liveness(self, tmp_path):
+        clock = FakeClock()
+        queue = make_queue(tmp_path / "q", clock)
+        queue.open(create=True)
+        queue.write_worker_heartbeat("w1", ttl_s=5.0)
+        assert queue.live_workers() == ["w1"]
+        clock.advance(9.0)  # within ttl * grace (5 * 2)
+        assert queue.live_workers() == ["w1"]
+        clock.advance(2.0)
+        assert queue.live_workers() == []
+
+
+# ----------------------------------------------------------------------
+# Property suite: random interleavings vs an in-memory oracle
+# ----------------------------------------------------------------------
+
+_OP = st.tuples(
+    st.sampled_from(["submit", "claim_a", "claim_b", "heartbeat_a",
+                     "heartbeat_b", "complete_a", "complete_b",
+                     "advance", "expire"]),
+    st.integers(min_value=0, max_value=5))
+
+
+class TestLeaseProperty:
+    """No run completed twice; no claimed run lost.
+
+    Two queue instances over one spool play the parts of two worker
+    processes while a hand-cranked clock drives lease expiry, so
+    steals and fenced completions arise organically from the random
+    interleaving.  The oracle is the ``completed`` set: a ``complete``
+    may only return True for a seq not already in it, and after the
+    final drain every submitted seq must be in it exactly once.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(ops=st.lists(_OP, max_size=40))
+    def test_random_interleavings_never_lose_or_double_complete(self, ops):
+        with tempfile.TemporaryDirectory() as tmp:
+            self._drive(Path(tmp) / "q", ops)
+
+    def _drive(self, root, ops):
+        clock = FakeClock()
+        queue_a, queue_b = open_pair(root, clock)
+        queues = {"a": queue_a, "b": queue_b}
+        held = {"a": [], "b": []}
+        completed: set[int] = set()
+        submitted = 0
+        for op, arg in ops:
+            if op == "submit":
+                queue_a.submit((f"k{submitted}",), f"p{submitted}")
+                submitted += 1
+            elif op.startswith("claim"):
+                name = op[-1]
+                claim = queues[name].claim(name, lease_s=10.0)
+                if claim is not None:
+                    assert claim.seq not in completed, \
+                        "claimed a task that was already completed"
+                    held[name].append(claim)
+            elif op.startswith("heartbeat"):
+                name = op[-1]
+                if held[name]:
+                    queues[name].heartbeat(
+                        held[name][arg % len(held[name])], lease_s=10.0)
+            elif op.startswith("complete"):
+                name = op[-1]
+                if held[name]:
+                    claim = held[name].pop(arg % len(held[name]))
+                    if queues[name].complete(claim, f"done{claim.seq}"):
+                        assert claim.seq not in completed, \
+                            "run completed twice"
+                        completed.add(claim.seq)
+            elif op == "advance":
+                clock.advance(4.0 + arg)  # two+ advances expire a lease
+            elif op == "expire":
+                queue_a.expire_overdue()
+
+        # No claimed run lost: whatever the interleaving left behind —
+        # active leases, expired leases, unclaimed tasks — a surviving
+        # worker must be able to drain every remaining task.
+        queue_a.close()
+        clock.advance(100.0)
+        while True:
+            claim = queue_b.claim("b", lease_s=10.0)
+            if claim is None:
+                break
+            assert claim.seq not in completed
+            assert queue_b.complete(claim, f"done{claim.seq}")
+            completed.add(claim.seq)
+        assert completed == set(range(submitted))
+
+        # A fresh replay of the full spool agrees with the oracle.
+        fresh = make_queue(root, clock)
+        fresh.open()
+        assert fresh.state.stats.completed == submitted
+        assert fresh.state.stats.submitted == submitted
+        assert fresh.state.drained()
+        for seq in range(submitted):
+            assert fresh.take_completion(seq) == f"done{seq}"
