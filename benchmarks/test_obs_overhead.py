@@ -92,3 +92,46 @@ def test_noop_overhead_fraction():
           f"no-op calls: {1000 * noop_s / rounds:.4f} ms/run "
           f"({100 * noop_s / analysis_s:.2f}%)")
     assert noop_s < 0.05 * analysis_s
+
+
+def test_event_log_and_spool_flush_overhead_fraction(tmp_path):
+    """Telemetry-plane gate: events + spool flush < 5% of the run.
+
+    Per claim, a queue worker adds a handful of event emissions and one
+    durable spool flush around the instrumented analysis.  Times N live
+    instrumented analyses against N rounds of exactly that added work
+    (claim/complete/heartbeat events plus ``TelemetrySpool.flush``), so
+    the telemetry plane stays within the instrumented campaign path's
+    5% overhead budget.
+    """
+    from repro.obs.spool import TelemetrySpool
+
+    trace = _one_trace()
+    obs = make_instrumentation()
+    rounds = 50
+
+    start = time.monotonic()
+    with instrumented(obs):
+        for _ in range(rounds):
+            analyze_trace(trace)
+    analysis_s = time.monotonic() - start
+
+    spool = TelemetrySpool(tmp_path / "telemetry", "bench-worker",
+                           campaign="bench0000")
+    obs.events.bind(worker="bench-worker", campaign="bench0000")
+    key = ("OP_V", "A9", "PERF", 0)
+
+    start = time.monotonic()
+    for index in range(rounds):
+        obs.events.emit("worker.claim", run_key=key, token=1, seq=index)
+        obs.events.emit("queue.heartbeat", severity="debug", run_key=key)
+        obs.events.emit("worker.complete", severity="debug", run_key=key,
+                        token=1, attempts=1)
+        spool.flush(obs)
+    telemetry_s = time.monotonic() - start
+
+    print_header("Event log + spool flush overhead")
+    print(f"instrumented analysis: {1000 * analysis_s / rounds:.3f} ms/run, "
+          f"events+flush: {1000 * telemetry_s / rounds:.4f} ms/run "
+          f"({100 * telemetry_s / analysis_s:.2f}%)")
+    assert telemetry_s < 0.05 * analysis_s

@@ -314,6 +314,7 @@ def _finish_outcome(outcome: AttemptOutcome, key: RunKey, span,
     and supervision counter.
     """
     span.set_attribute("attempts", outcome.attempts)
+    events = get_instrumentation().events
     retries = outcome.attempts - 1
     if retries:
         registry.counter("campaign_run_retries_total").inc(retries)
@@ -329,9 +330,14 @@ def _finish_outcome(outcome: AttemptOutcome, key: RunKey, span,
             registry.counter("campaign_run_timeouts_total").inc()
             span.set_attribute("timed_out", True)
         span.set_attribute("outcome", "quarantined")
+        events.emit("run.quarantined", severity="warning", run_key=key,
+                    error=quarantined.error, attempts=outcome.attempts,
+                    timed_out=timed_out)
         return None, quarantined, retries, timed_out
     registry.counter("campaign_runs_completed_total").inc()
     span.set_attribute("outcome", "completed")
+    events.emit("run.completed", severity="debug", run_key=key,
+                attempts=outcome.attempts)
     return outcome.value, None, retries, False
 
 
@@ -344,6 +350,14 @@ def _execute_worker_task(task: _WorkerTask) -> _WorkerOutcome:
     ships its snapshot back for an in-schedule-order merge.
     """
     obs = make_instrumentation() if task.instrument else NULL_INSTRUMENTATION
+    ambient_events = get_instrumentation().events
+    if task.instrument and ambient_events.enabled:
+        # A queue worker keeps one process-wide event log (bound to its
+        # worker id, flushed to its telemetry spool); task execution
+        # reports events there rather than into the discarded per-task
+        # bundle.  Pool workers have a null ambient log, so nothing
+        # changes for them.
+        obs.events = ambient_events
     deployment = _worker_deployment(task.profile, task.area_name)
     test_device = device_by_name(task.device_name)
 
@@ -449,18 +463,36 @@ class CampaignRunner:
     def run(self) -> CampaignResult:
         obs = self.obs if self.obs is not None else get_instrumentation()
         with instrumented(obs):
-            if self.config.scheduler == "queue":
-                return self._run_queue(obs)
-            if self.config.scheduler != "pool":
-                raise ValueError(
-                    f"unknown scheduler {self.config.scheduler!r} "
-                    "(expected 'pool' or 'queue')")
-            workers = self._effective_workers()
-            if workers > 1:
-                result = self._run_parallel(obs, workers)
-                if result is not None:
-                    return result
-            return self._run(obs)
+            obs.events.bind(campaign=self.campaign_identity())
+            obs.events.emit("campaign.started",
+                            scheduler=self.config.scheduler,
+                            workers=self.config.workers or 1,
+                            seed=self.config.seed)
+            try:
+                result = self._dispatch(obs)
+            except BaseException as error:
+                obs.events.emit("campaign.aborted", severity="error",
+                                error=f"{type(error).__name__}: {error}")
+                raise
+            obs.events.emit("campaign.finished",
+                            scheduled=result.scheduled,
+                            completed=result.completed,
+                            quarantined=len(result.quarantined))
+            return result
+
+    def _dispatch(self, obs: Instrumentation) -> CampaignResult:
+        if self.config.scheduler == "queue":
+            return self._run_queue(obs)
+        if self.config.scheduler != "pool":
+            raise ValueError(
+                f"unknown scheduler {self.config.scheduler!r} "
+                "(expected 'pool' or 'queue')")
+        workers = self._effective_workers()
+        if workers > 1:
+            result = self._run_parallel(obs, workers)
+            if result is not None:
+                return result
+        return self._run(obs)
 
     def _effective_workers(self) -> int:
         """How many pool workers to actually use (1 == in-process).
@@ -726,6 +758,9 @@ class CampaignRunner:
             *scheduled.key, error=f"{type(error).__name__}: {error}",
             attempts=attempts)
         registry.counter("campaign_runs_quarantined_total").inc()
+        obs.events.emit("supervision.quarantined", severity="warning",
+                        run_key=scheduled.key, error=quarantined.error,
+                        attempts=attempts, timed_out=timed_out)
         result.quarantine(quarantined)
         if timed_out:
             progress.run_timed_out(scheduled.key)
@@ -788,6 +823,11 @@ class CampaignRunner:
         if outcome.retries:
             progress.run_retried(scheduled.key, outcome.retries)
         if outcome.quarantined is not None:
+            obs.events.emit("run.quarantined", severity="warning",
+                            run_key=scheduled.key,
+                            error=outcome.quarantined.error,
+                            attempts=outcome.attempts,
+                            timed_out=outcome.timed_out)
             result.quarantine(outcome.quarantined)
             if outcome.timed_out:
                 progress.run_timed_out(scheduled.key)
@@ -809,6 +849,8 @@ class CampaignRunner:
         if not self.config.keep_traces:
             run_result.trace = None
         result.add(run_result)
+        obs.events.emit("run.completed", severity="debug",
+                        run_key=scheduled.key, attempts=outcome.attempts)
         progress.run_completed(scheduled.key)
         if breaker is not None:
             breaker.record_success()
@@ -923,6 +965,12 @@ class CampaignRunner:
             span.set_attribute(
                 "outcome", "restored" if restored_run is not None
                 else "restore_failed")
+        if restored_run is not None:
+            obs.events.emit("run.restored", severity="debug",
+                            run_key=scheduled.key)
+        else:
+            obs.events.emit("checkpoint.restore_failed", severity="warning",
+                            run_key=scheduled.key)
         return restored_run
 
     def _restore(self, entry: CheckpointEntry,

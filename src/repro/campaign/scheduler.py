@@ -257,6 +257,9 @@ class PoolScheduler(Scheduler):
                         outcome=item.handle.result(timeout=self.wait_budget_s))
                 except FutureTimeoutError:
                     registry.counter("campaign_run_timeouts_total").inc()
+                    obs.events.emit("supervision.hung_run", severity="error",
+                                    run_key=item.scheduled.key,
+                                    budget_s=self.wait_budget_s)
                     self.breaker.record_failure("hung run",
                                                 item.scheduled.key)
                     self.supervisor.rebuild("hung run")  # breaker-gated
@@ -267,6 +270,10 @@ class PoolScheduler(Scheduler):
                         f"({self.wait_budget_s:.1f}s) without yielding; "
                         "worker killed", budget_s=self.wait_budget_s)
                 except (CancelledError, *POOL_CRASH_ERRORS) as crash:
+                    obs.events.emit("supervision.worker_crash",
+                                    severity="error",
+                                    run_key=item.scheduled.key,
+                                    error=type(crash).__name__)
                     self.breaker.record_failure("worker crash",
                                                 item.scheduled.key)
                     # Rebuild unconditionally: rescheduling the in-flight
@@ -413,16 +420,26 @@ class QueueScheduler(Scheduler):
         events = self.queue.drain_dispositions()
         if events:
             self._last_activity = self.queue.clock()
-        registry = get_instrumentation().registry
+        obs = get_instrumentation()
+        registry = obs.registry
         for disposition, seq, worker in events:
             if disposition == "expire":
                 registry.counter("leases_expired_total").inc()
                 task = self.queue.state.tasks.get(seq)
                 key = task.key if task is not None else (str(seq),)
+                obs.events.emit("queue.lease_expired", severity="warning",
+                                run_key=tuple(key), worker=worker or None,
+                                seq=seq)
                 self.breaker.record_failure(
                     f"lease expired (worker {worker or '?'})", key)
             elif disposition == "steal":
                 registry.counter("runs_stolen_total").inc()
+                task = self.queue.state.tasks.get(seq)
+                obs.events.emit(
+                    "queue.run_stolen", severity="warning",
+                    run_key=task.key if task is not None else None,
+                    token=task.token if task is not None else None,
+                    worker=worker or None, seq=seq)
                 # A steal is the queue backend's kill-and-respawn cycle:
                 # count it against the same rebuild budget, so steal
                 # storms fail fast with the breaker's summary.

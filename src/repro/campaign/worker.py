@@ -40,6 +40,9 @@ from pathlib import Path
 
 from repro.campaign.runner import _execute_worker_task
 from repro.campaign.scheduler import decode_payload, encode_payload
+from repro.obs import Instrumentation, instrumented, make_instrumentation
+from repro.obs.spool import TELEMETRY_DIRNAME, TelemetrySpool
+from repro.obs.tracing import Span
 from repro.resilience.taskqueue import Claim, DurableTaskQueue
 
 logger = logging.getLogger(__name__)
@@ -76,15 +79,31 @@ class WorkerConfig:
 
 
 class QueueWorker:
-    """Drain loop over one durable task-queue spool."""
+    """Drain loop over one durable task-queue spool.
 
-    def __init__(self, config: WorkerConfig):
+    Every worker keeps a live process-wide instrumentation bundle
+    (``obs``) and a durable telemetry spool under
+    ``<queue-dir>/telemetry/<worker-id>.tspool``: events, finished
+    spans and metric snapshots are flushed to it at every claim, every
+    lease heartbeat and every completion, so a SIGKILLed worker's
+    partial telemetry survives on disk and stays attributable after
+    the run is stolen.  The claim-time flush deliberately happens
+    *before* the ``fail_after`` fault injection — that ordering is what
+    the steal tests (and the paper's crash-forensics story) rely on.
+    """
+
+    def __init__(self, config: WorkerConfig,
+                 obs: Instrumentation | None = None):
         self.config = config
         self.queue = DurableTaskQueue(config.queue_dir, payload_mode="drop")
         self.lease_s = config.lease_s or 30.0
         self.claims = 0
         self.completed = 0
         self.fenced = 0
+        self.obs = obs if obs is not None else make_instrumentation()
+        self.spool = TelemetrySpool(
+            Path(config.queue_dir) / TELEMETRY_DIRNAME, config.worker_id)
+        self._spool_lock = threading.Lock()
 
     def run(self) -> int:
         """Drain until the queue is sealed and empty; returns exit code."""
@@ -97,12 +116,26 @@ class QueueWorker:
         if self.config.lease_s is None \
                 and self.queue.state.default_lease_s is not None:
             self.lease_s = self.queue.state.default_lease_s
+        self.obs.events.bind(worker=self.config.worker_id,
+                             campaign=self.queue.state.identity)
+        self.spool.campaign = self.queue.state.identity
+        self.obs.events.emit("worker.attach", queue=str(self.config.queue_dir),
+                             pid=os.getpid(), lease_s=self.lease_s)
+        self._flush_telemetry()
+        with instrumented(self.obs):
+            return self._drain()
+
+    def _drain(self) -> int:
         while True:
             self.queue.write_worker_heartbeat(self.config.worker_id,
                                               self.lease_s)
             claim = self.queue.claim(self.config.worker_id, self.lease_s)
             if claim is None:
                 if self.queue.state.drained():
+                    self.obs.events.emit(
+                        "worker.drained", completed=self.completed,
+                        fenced=self.fenced, claims=self.claims)
+                    self._flush_telemetry()
                     logger.info(
                         "worker %s: queue drained (%d completed, "
                         "%d fenced of %d claims)", self.config.worker_id,
@@ -111,6 +144,14 @@ class QueueWorker:
                 time.sleep(self.config.poll_s)
                 continue
             self.claims += 1
+            self.obs.events.emit("worker.claim", run_key=claim.key,
+                                 token=claim.token, seq=claim.seq)
+            self.queue.write_worker_heartbeat(
+                self.config.worker_id, self.lease_s,
+                run_key=claim.key, token=claim.token)
+            # Flush *before* the fault-injection point: the victim's
+            # claim event must already be durable when SIGKILL lands.
+            self._flush_telemetry()
             self._maybe_fail_injected()
             self._execute_claim(claim)
 
@@ -126,6 +167,9 @@ class QueueWorker:
     def _maybe_fail_injected(self) -> None:
         fail_after = self.config.fail_after
         if fail_after is not None and self.claims >= fail_after:
+            self.obs.events.emit("worker.fail_injection", severity="warning",
+                                 claims=self.claims)
+            self._flush_telemetry()
             logger.warning("worker %s: fault injection — SIGKILL after "
                            "claim %d", self.config.worker_id, self.claims)
             os.kill(os.getpid(), signal.SIGKILL)
@@ -143,6 +187,20 @@ class QueueWorker:
             beat.join(timeout=self.lease_s)
         if self.queue.complete(claim, encode_payload(outcome)):
             self.completed += 1
+            # Only a *committed* completion folds its telemetry into
+            # this worker's registry/tracer: a fenced outcome will be
+            # reproduced (and merged) by the thief, and double-counting
+            # it here would break counter reconciliation with the
+            # coordinator's final export.
+            if outcome.metrics is not None:
+                self.obs.registry.merge(outcome.metrics)
+            if outcome.spans:
+                self.obs.tracer.adopt(
+                    [Span.from_dict(data) for data in outcome.spans])
+            self.obs.events.emit("worker.complete", severity="debug",
+                                 run_key=claim.key, token=claim.token,
+                                 attempts=outcome.attempts,
+                                 quarantined=outcome.quarantined is not None)
             self.queue.write_worker_heartbeat(self.config.worker_id,
                                               self.lease_s)
         else:
@@ -150,17 +208,38 @@ class QueueWorker:
             # will deterministically reproduce) it; discarding here is
             # the no-double-completion guarantee doing its job.
             self.fenced += 1
+            self.obs.events.emit("worker.fenced", severity="warning",
+                                 run_key=claim.key, token=claim.token,
+                                 seq=claim.seq)
             logger.warning("worker %s: completion for task %d fenced off "
                            "(lease stolen mid-run); outcome discarded",
                            self.config.worker_id, claim.seq)
+        self._flush_telemetry()
+
+    def _flush_telemetry(self) -> None:
+        """Flush events/spans/metrics to the durable spool; never raises.
+
+        Called from both the drain loop and the lease-heartbeat thread,
+        hence the lock — the spool's incremental cursors must not race.
+        Telemetry failures never fail the campaign: a worker with a
+        full disk keeps draining, it just stops being observable.
+        """
+        try:
+            with self._spool_lock:
+                self.spool.flush(self.obs)
+        except OSError:  # pragma: no cover - telemetry is best-effort
+            logger.warning("worker %s: telemetry spool flush failed",
+                           self.config.worker_id, exc_info=True)
 
     def _heartbeat_loop(self, claim: Claim, stop: threading.Event) -> None:
         interval = max(0.01, self.lease_s / 3.0)
         while not stop.wait(interval):
             try:
-                self.queue.write_worker_heartbeat(self.config.worker_id,
-                                                  self.lease_s)
+                self.queue.write_worker_heartbeat(
+                    self.config.worker_id, self.lease_s,
+                    run_key=claim.key, token=claim.token)
                 if not self.queue.heartbeat(claim, self.lease_s):
                     return  # fenced: the run was stolen, stop renewing
             except OSError:  # pragma: no cover - transient spool I/O
                 continue
+            self._flush_telemetry()

@@ -43,6 +43,21 @@ Five subcommands mirror the reproduction's main workflows::
         directory) against ``repro campaign --scheduler queue
         --queue-dir QDIR``; kill any of them at any time — expired
         leases are stolen by the survivors without double-completion.
+        Every worker flushes its events/spans/metrics to a durable
+        telemetry spool under ``QDIR/telemetry/``.
+
+    python -m repro status QDIR [--json|--watch [SECONDS]|--serve PORT]
+        Live view of a queue campaign's telemetry plane: worker
+        liveness, lease table, queue depth/throughput/ETA, merged
+        worker counters and recent events — aggregated read-only from
+        the queue spool, heartbeat files and telemetry spools, so it
+        can run beside (or after) a live campaign.  ``--serve PORT``
+        exposes ``/metrics`` (Prometheus text) and ``/status`` (JSON)
+        over stdlib HTTP for mid-campaign scraping.
+
+``--log-level``/``--log-json`` on campaign, worker and profile mirror
+the structured event stream (claims, steals, retries, quarantines,
+breaker trips, …) to stderr, replacing the ad-hoc logging warnings.
 
 Interrupts: Ctrl-C and SIGTERM share one graceful-drain path (the
 checkpoint is flushed, a resume hint printed) and exit ``128 +
@@ -52,7 +67,9 @@ signum`` — 130 for SIGINT, 143 for SIGTERM.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from pathlib import Path
 
 from repro.analysis.report import campaign_report, run_report
@@ -70,7 +87,10 @@ from repro.core.pipeline import analyze_trace
 from repro.obs import (
     Instrumentation,
     NULL_INSTRUMENTATION,
+    SEVERITIES,
+    StderrEventSink,
     StderrProgressReporter,
+    attach_logging_bridge,
     make_instrumentation,
 )
 from repro.obs.profile import run_profile
@@ -172,6 +192,34 @@ def _add_worker_parser(subparsers) -> None:
     parser.add_argument("--fail-after", type=int, default=None, metavar="N",
                         help="fault injection: SIGKILL this worker right "
                              "after its N-th claim (steal/chaos testing)")
+    _add_log_flags(parser)
+
+
+def _add_status_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "status", help="live view of a queue campaign's telemetry plane")
+    parser.add_argument("queue_dir", metavar="QUEUE_DIR",
+                        help="task-queue spool directory of the campaign")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the full machine-readable view "
+                             "instead of the terminal rendering")
+    parser.add_argument("--watch", nargs="?", const=2.0, type=float,
+                        default=None, metavar="SECONDS",
+                        help="refresh continuously every SECONDS "
+                             "(default 2) until interrupted")
+    parser.add_argument("--serve", type=int, default=None, metavar="PORT",
+                        help="serve /metrics (Prometheus text) and "
+                             "/status (JSON) over HTTP instead of "
+                             "printing (0 picks a free port)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address for --serve "
+                             "(default 127.0.0.1)")
+    parser.add_argument("--events", type=int, default=20, metavar="N",
+                        help="recent events to include (default 20)")
+    parser.add_argument("--min-severity", choices=tuple(SEVERITIES),
+                        default="debug",
+                        help="lowest event severity to include "
+                             "(default debug)")
 
 
 def _add_workers_flag(parser) -> None:
@@ -198,6 +246,20 @@ def _add_observability_flags(parser) -> None:
                              "per line)")
     parser.add_argument("--progress", action="store_true",
                         help="live progress (rate/ETA/tallies) on stderr")
+    _add_log_flags(parser)
+
+
+def _add_log_flags(parser) -> None:
+    parser.add_argument("--log-level", choices=tuple(SEVERITIES),
+                        default=None, metavar="LEVEL",
+                        help="mirror structured events at LEVEL or above "
+                             "(debug/info/warning/error) to stderr; also "
+                             "captures stdlib logging warnings into the "
+                             "event stream")
+    parser.add_argument("--log-json", action="store_true",
+                        help="render the mirrored events as JSON lines "
+                             "instead of human-readable ones "
+                             "(implies --log-level info)")
 
 
 def _add_analyze_parser(subparsers) -> None:
@@ -273,6 +335,7 @@ def _add_profile_parser(subparsers) -> None:
                              "or Prometheus text for .prom/.txt paths)")
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="also write the span tree here (JSONL)")
+    _add_log_flags(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -287,6 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_faults_parser(subparsers)
     _add_profile_parser(subparsers)
     _add_worker_parser(subparsers)
+    _add_status_parser(subparsers)
     return parser
 
 
@@ -298,10 +362,34 @@ def build_parser() -> argparse.ArgumentParser:
 def _build_instrumentation(args: argparse.Namespace) -> Instrumentation:
     """A live bundle when any observability flag is set, else the no-op."""
     wants_progress = getattr(args, "progress", False)
-    if not (args.metrics_out or args.trace_out or wants_progress):
+    if not (args.metrics_out or args.trace_out or wants_progress
+            or _wants_event_stream(args)):
         return NULL_INSTRUMENTATION
     progress = StderrProgressReporter() if wants_progress else None
-    return make_instrumentation(progress=progress)
+    obs = make_instrumentation(progress=progress)
+    _attach_event_stream(obs, args)
+    return obs
+
+
+def _wants_event_stream(args: argparse.Namespace) -> bool:
+    return getattr(args, "log_level", None) is not None \
+        or getattr(args, "log_json", False)
+
+
+def _attach_event_stream(obs: Instrumentation,
+                         args: argparse.Namespace) -> None:
+    """Mirror structured events to stderr per ``--log-level/--log-json``.
+
+    Also routes stdlib ``logging`` warnings from the ``repro`` loggers
+    into the event stream, so the old ad-hoc warnings show up exactly
+    once, in the structured format, instead of as loose stderr lines.
+    """
+    if not (obs.events.enabled and _wants_event_stream(args)):
+        return
+    level = getattr(args, "log_level", None) or "info"
+    obs.events.add_sink(StderrEventSink(
+        min_severity=level, json_mode=getattr(args, "log_json", False)))
+    attach_logging_bridge(obs.events)
 
 
 def _flush_observability(obs: Instrumentation,
@@ -464,6 +552,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    obs = make_instrumentation()
+    _attach_event_stream(obs, args)
     report = run_profile(
         seed=args.seed,
         operator_names=args.operators,
@@ -474,6 +564,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         workers=args.workers,
         run_timeout_s=args.run_timeout,
+        obs=obs,
     )
     _flush_observability(report.obs, args)
     print(report.summary())
@@ -492,7 +583,9 @@ def _cmd_worker(args: argparse.Namespace) -> int:
               "fail_after": args.fail_after}
     if args.worker_id:
         kwargs["worker_id"] = args.worker_id
-    worker = QueueWorker(WorkerConfig(**kwargs))
+    obs = make_instrumentation()
+    _attach_event_stream(obs, args)
+    worker = QueueWorker(WorkerConfig(**kwargs), obs=obs)
     try:
         with graceful_shutdown():
             return worker.run()
@@ -505,6 +598,60 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             else 130
 
 
+def _render_status_once(aggregator, args: argparse.Namespace) -> str:
+    from repro.obs.aggregate import render_status
+
+    view = aggregator.view(recent_events=args.events,
+                           min_severity=args.min_severity)
+    if args.as_json:
+        return view.to_json()
+    return render_status(view)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.obs.aggregate import CampaignAggregator, serve_status
+
+    aggregator = CampaignAggregator(args.queue_dir)
+    if args.serve is not None:
+        server = serve_status(aggregator, args.serve, host=args.host)
+        host, port = server.server_address[:2]
+        print(f"serving http://{host}:{port}/status and "
+              f"http://{host}:{port}/metrics (Ctrl-C stops)",
+              file=sys.stderr)
+        try:
+            with graceful_shutdown():
+                server.serve_forever()
+        except (KeyboardInterrupt, ShutdownRequested):
+            pass
+        finally:
+            server.server_close()
+        return 0
+    if args.watch is not None:
+        interval = max(0.1, args.watch)
+        try:
+            with graceful_shutdown():
+                while True:
+                    if aggregator.refresh():
+                        if not args.as_json and sys.stdout.isatty():
+                            # Clear + home, like watch(1), only when a
+                            # human is looking at it.
+                            print("\x1b[2J\x1b[H", end="")
+                        print(_render_status_once(aggregator, args),
+                              flush=True)
+                    else:
+                        print(f"waiting for a task-queue spool at "
+                              f"{args.queue_dir} …", file=sys.stderr)
+                    time.sleep(interval)
+        except (KeyboardInterrupt, ShutdownRequested):
+            return 0
+    if not aggregator.refresh():
+        print(f"error: no task-queue spool at {args.queue_dir} "
+              f"(is this the campaign's --queue-dir?)", file=sys.stderr)
+        return 1
+    print(_render_status_once(aggregator, args))
+    return 0
+
+
 _COMMANDS = {
     "campaign": _cmd_campaign,
     "analyze": _cmd_analyze,
@@ -512,13 +659,23 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "profile": _cmd_profile,
     "worker": _cmd_worker,
+    "status": _cmd_status,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # `repro status ... | head` closes stdout early; exit with the
+        # conventional SIGPIPE status instead of a traceback.  stdout
+        # is re-pointed at devnull so the interpreter's shutdown flush
+        # cannot raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

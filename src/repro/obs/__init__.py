@@ -12,6 +12,10 @@ pipeline.  Three layers, all zero-cost when disabled (the default):
 * :mod:`repro.obs.progress` — a :class:`ProgressReporter` protocol
   (rate, ETA, completed/quarantined/retried tallies) the campaign
   runner drives.
+* :mod:`repro.obs.events` — a structured :class:`EventLog` of campaign
+  decision points (claim/steal/expire/retry/quarantine/breaker) with
+  severity, dual timestamps, and correlation ids, mirrored to stderr
+  and to per-worker telemetry spools via sinks.
 
 :mod:`repro.obs.context` binds them: hot paths read the active
 :class:`Instrumentation` bundle via :func:`get_instrumentation`;
@@ -26,6 +30,16 @@ from repro.obs.context import (
     get_instrumentation,
     instrumented,
     make_instrumentation,
+)
+from repro.obs.events import (
+    Event,
+    EventLog,
+    NULL_EVENTS,
+    NullEventLog,
+    SEVERITIES,
+    StderrEventSink,
+    attach_logging_bridge,
+    parse_events_jsonl,
 )
 from repro.obs.metrics import (
     Counter,
@@ -55,25 +69,33 @@ from repro.obs.tracing import (
 __all__ = [
     "Counter",
     "DEFAULT_TIME_BUCKETS",
+    "Event",
+    "EventLog",
     "Gauge",
     "Histogram",
     "Instrumentation",
     "MetricsRegistry",
+    "NULL_EVENTS",
     "NULL_INSTRUMENTATION",
     "NULL_PROGRESS",
     "NULL_REGISTRY",
     "NULL_TRACER",
+    "NullEventLog",
     "NullProgressReporter",
     "NullRegistry",
     "NullTracer",
     "ProgressReporter",
+    "SEVERITIES",
     "Span",
+    "StderrEventSink",
     "StderrProgressReporter",
     "Timer",
     "Tracer",
+    "attach_logging_bridge",
     "get_instrumentation",
     "instrumented",
     "make_instrumentation",
+    "parse_events_jsonl",
     "parse_spans_jsonl",
     "verify_span_tree",
 ]

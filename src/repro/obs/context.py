@@ -26,6 +26,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
+from repro.obs.events import NULL_EVENTS, EventLog
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.obs.progress import NULL_PROGRESS, ProgressReporter
 from repro.obs.tracing import NULL_TRACER, Tracer
@@ -46,6 +47,7 @@ class Instrumentation:
     registry: MetricsRegistry = NULL_REGISTRY
     tracer: Tracer = NULL_TRACER
     progress: ProgressReporter = NULL_PROGRESS
+    events: EventLog = NULL_EVENTS
     enabled: bool = True
 
 
@@ -75,7 +77,8 @@ def instrumented(obs: Instrumentation) -> Iterator[Instrumentation]:
 def make_instrumentation(clock: Callable[[], float] = time.monotonic,
                          progress: ProgressReporter | None = None,
                          ) -> Instrumentation:
-    """A live bundle: fresh registry + tracer on one shared clock."""
+    """A live bundle: fresh registry + tracer + events on one clock."""
     return Instrumentation(registry=MetricsRegistry(clock=clock),
                            tracer=Tracer(clock=clock),
-                           progress=progress or NULL_PROGRESS)
+                           progress=progress or NULL_PROGRESS,
+                           events=EventLog(clock=clock))

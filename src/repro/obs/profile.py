@@ -107,11 +107,31 @@ class ProfileReport:
             f"{expired:g} leases expired, {stolen:g} runs stolen",
             "",
             stage_table(registry),
+        ]
+        timeline = self.timeline()
+        if timeline:
+            lines += ["", f"timeline (last {len(timeline)} events):"]
+            lines += [f"  {line}" for line in timeline]
+        lines += [
             "",
             "metrics reconciliation: "
             + ("ok" if self.reconciles() else "FAILED"),
         ]
         return "\n".join(lines)
+
+    def timeline(self, limit: int = 12,
+                 min_severity: str = "info") -> list[str]:
+        """The campaign's aggregated event timeline, rendered.
+
+        Everything routed through the bundle's event log — lifecycle,
+        retries, quarantines, supervision and queue decisions — at
+        ``min_severity`` or above, most recent ``limit`` entries.
+        """
+        if not self.obs.events.enabled:
+            return []
+        return [event.render()
+                for event in self.obs.events.recent(
+                    limit=limit, min_severity=min_severity)]
 
 
 def run_profile(seed: int = 42,
@@ -125,8 +145,14 @@ def run_profile(seed: int = 42,
                 workers: int = 1,
                 run_timeout_s: float | None = None,
                 clock: Callable[[], float] = time.monotonic,
+                obs: Instrumentation | None = None,
                 ) -> ProfileReport:
-    """Run the instrumented mini-campaign behind ``repro profile``."""
+    """Run the instrumented mini-campaign behind ``repro profile``.
+
+    ``obs`` lets a caller supply a pre-configured live bundle (the CLI
+    attaches its ``--log-level`` stderr sink first); ``None`` builds a
+    fresh one on ``clock``.
+    """
     from repro.campaign.operators import OPERATORS, operator
     from repro.campaign.runner import CampaignConfig, CampaignRunner
 
@@ -145,6 +171,7 @@ def run_profile(seed: int = 42,
         workers=workers,
         run_timeout_s=run_timeout_s,
     )
-    obs = make_instrumentation(clock=clock)
+    if obs is None:
+        obs = make_instrumentation(clock=clock)
     result = CampaignRunner(profiles, config, obs=obs).run()
     return ProfileReport(obs=obs, result=result)

@@ -237,8 +237,11 @@ class CampaignCheckpoint:
     def _report_skipped(self, report: CheckpointLoadReport) -> None:
         if not report.skipped_lines:
             return
-        get_instrumentation().registry.counter(
+        obs = get_instrumentation()
+        obs.registry.counter(
             "checkpoint_lines_skipped_total").inc(report.lines_skipped)
+        obs.events.emit("checkpoint.lines_skipped", severity="warning",
+                        path=str(self.path), skipped=report.lines_skipped)
         shown = ", ".join(str(number)
                           for number in report.skipped_lines[:_WARN_LINE_LIMIT])
         if report.lines_skipped > _WARN_LINE_LIMIT:

@@ -84,7 +84,8 @@ def execute_with_retry(fn: Callable[[], object], policy: RetryPolicy,
     (e.g. ``KeyboardInterrupt``) propagates so an operator can stop a
     campaign and later resume it from the checkpoint.
     """
-    registry = get_instrumentation().registry
+    obs = get_instrumentation()
+    registry = obs.registry
     outcome = AttemptOutcome()
     for attempt in range(policy.max_retries + 1):
         outcome.attempts = attempt + 1
@@ -99,6 +100,10 @@ def execute_with_retry(fn: Callable[[], object], policy: RetryPolicy,
             delay = policy.backoff_s(key, attempt)
             outcome.backoffs_s.append(delay)
             registry.histogram("retry_backoff_seconds").observe(delay)
+            obs.events.emit("run.retry", severity="warning",
+                            run_key=key or None, attempt=attempt + 1,
+                            backoff_s=round(delay, 4),
+                            error=f"{type(error).__name__}: {error}")
             if sleep is not None and delay > 0:
                 sleep(delay)
     registry.histogram("retry_attempts",

@@ -170,8 +170,11 @@ class CircuitBreaker:
         workers — so every fail-fast path raises the same
         :class:`CircuitBreakerOpen` with the same diagnostic summary.
         """
-        get_instrumentation().registry.counter(
-            "campaign_breaker_trips_total").inc()
+        obs = get_instrumentation()
+        obs.registry.counter("campaign_breaker_trips_total").inc()
+        obs.events.emit("breaker.open", severity="error", reason=reason,
+                        rebuilds=self.rebuilds,
+                        failures=self.failures_total)
         raise CircuitBreakerOpen(self.summary(reason))
 
     def _event(self, event: str) -> None:
@@ -236,6 +239,8 @@ class PoolSupervisor:
         """Kill-and-respawn cycle, breaker-gated and instrumented."""
         obs = get_instrumentation()
         obs.registry.counter("campaign_pool_rebuilds_total").inc()
+        obs.events.emit("pool.rebuild", severity="warning", reason=reason,
+                        workers=self.workers)
         with obs.tracer.span("pool_rebuild", reason=reason,
                              workers=self.workers):
             self.kill()

@@ -76,6 +76,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
+from repro.obs import get_instrumentation
 from repro.resilience.checkpoint import (
     CheckpointMismatchError,
     frame_line,
@@ -92,6 +93,7 @@ __all__ = [
     "QueueStats",
     "TaskRecord",
     "TaskQueueError",
+    "WorkerHeartbeat",
 ]
 
 #: The spool format this writer produces (shares the checkpoint lineage).
@@ -306,6 +308,44 @@ class LeaseState:
 
 
 @dataclass(frozen=True)
+class WorkerHeartbeat:
+    """One decoded ``workers/<id>.hb`` file.
+
+    ``age_s`` can be slightly negative (the worker beat between our
+    clock read and the file read); a *large* negative age means the
+    stamp predates a monotonic-clock restart and the worker is treated
+    as dead.
+    """
+
+    worker: str
+    pid: int
+    mono: float
+    ttl: float
+    age_s: float
+    run_key: tuple | None = None
+    token: int | None = None
+
+    @property
+    def live(self) -> bool:
+        return -self.ttl <= self.age_s <= self.ttl * _HEARTBEAT_GRACE
+
+
+def _read_heartbeat(path: Path, now: float) -> WorkerHeartbeat | None:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+        run_key = data.get("run_key")
+        token = data.get("token")
+        return WorkerHeartbeat(
+            worker=path.stem, pid=int(data.get("pid", 0)),
+            mono=float(data["mono"]), ttl=float(data["ttl"]),
+            age_s=now - float(data["mono"]),
+            run_key=tuple(run_key) if run_key is not None else None,
+            token=None if token is None else int(token))
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+@dataclass(frozen=True)
 class Claim:
     """One successfully claimed task: identity + fencing credentials."""
 
@@ -435,6 +475,11 @@ class DurableTaskQueue:
                         "lease_s": self.default_lease_s}])
                     if self.fsync:
                         fsync_directory(self.root)
+        if create:
+            # Coordinator-side open: clear heartbeat files left by a
+            # previous campaign against a reused queue directory, so
+            # liveness views never show long-dead workers.
+            self.prune_stale_worker_heartbeats()
         self.catch_up()
         self._check_identity()
         return True
@@ -636,30 +681,75 @@ class DurableTaskQueue:
 
     # -- worker liveness ------------------------------------------------
 
-    def write_worker_heartbeat(self, worker: str, ttl_s: float) -> None:
-        """Refresh this worker's liveness file (atomic replace)."""
+    def write_worker_heartbeat(self, worker: str, ttl_s: float,
+                               run_key: tuple | None = None,
+                               token: int | None = None) -> None:
+        """Refresh this worker's liveness file (atomic replace).
+
+        ``run_key``/``token`` name the claim the worker is currently
+        executing (``None`` between claims), so ``repro status`` can
+        show not just *that* a worker is alive but *what* it holds and
+        under which lease generation.
+        """
         self.workers_dir.mkdir(parents=True, exist_ok=True)
         path = self.workers_dir / f"{worker}.hb"
         tmp = path.with_suffix(".hb.tmp")
-        tmp.write_text(json.dumps({"pid": os.getpid(), "mono": self.clock(),
-                                   "ttl": ttl_s}), encoding="utf-8")
+        record: dict = {"pid": os.getpid(), "mono": self.clock(),
+                        "ttl": ttl_s}
+        if run_key is not None:
+            record["run_key"] = list(run_key)
+        if token is not None:
+            record["token"] = token
+        tmp.write_text(json.dumps(record), encoding="utf-8")
         os.replace(tmp, path)
 
-    def live_workers(self) -> list[str]:
-        """Workers whose heartbeat file is within its ttl (+grace)."""
+    def worker_heartbeats(self) -> list["WorkerHeartbeat"]:
+        """Decode every readable heartbeat file (live and stale)."""
         if not self.workers_dir.exists():
             return []
         now = self.clock()
-        live = []
+        beats = []
         for path in sorted(self.workers_dir.glob("*.hb")):
-            try:
-                data = json.loads(path.read_text(encoding="utf-8"))
-                if now - float(data["mono"]) \
-                        <= float(data["ttl"]) * _HEARTBEAT_GRACE:
-                    live.append(path.stem)
-            except (OSError, ValueError, KeyError, TypeError):
+            beat = _read_heartbeat(path, now)
+            if beat is not None:
+                beats.append(beat)
+        return beats
+
+    def live_workers(self) -> list[str]:
+        """Workers whose heartbeat file is within its ttl (+grace)."""
+        return [beat.worker for beat in self.worker_heartbeats()
+                if beat.live]
+
+    def prune_stale_worker_heartbeats(self) -> list[str]:
+        """Delete heartbeat files from long-dead worker incarnations.
+
+        Called on queue open so ``repro status`` against a reused queue
+        directory never lists last week's workers.  A file is pruned
+        when its heartbeat is stale (past ttl + grace) or *implausible*
+        — its monotonic stamp lies in the future, which is what a
+        pre-reboot heartbeat looks like after ``CLOCK_MONOTONIC``
+        restarts from zero.  Best-effort: racing with the worker's own
+        atomic replace is harmless (it rewrites the file on its next
+        beat).
+        """
+        if not self.workers_dir.exists():
+            return []
+        now = self.clock()
+        pruned = []
+        for path in sorted(self.workers_dir.glob("*.hb")):
+            beat = _read_heartbeat(path, now)
+            if beat is not None and beat.live:
                 continue
-        return live
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing unlink
+                continue
+            pruned.append(path.stem)
+        if pruned:
+            get_instrumentation().events.emit(
+                "queue.heartbeats_pruned", severity="debug",
+                workers=pruned)
+        return pruned
 
     # -- replay / append internals --------------------------------------
 
@@ -697,6 +787,9 @@ class DurableTaskQueue:
                 payload_text, crc_ok = unframe_line(stripped)
                 if crc_ok is not True:
                     self._skipped_lines += 1
+                    get_instrumentation().events.emit(
+                        "queue.spool_corrupt_line", severity="warning",
+                        queue=str(self.root), offset=line_offset)
                     logger.warning("task queue %s: skipped corrupt spool "
                                    "line at byte %d", self.root, line_offset)
                     continue

@@ -261,6 +261,12 @@ def parse_trace(text: str, errors: str = "strict") -> ParseResult:
 
 def _flush_parse_metrics(obs, report: ParseReport) -> None:
     """Report one ingestion's tallies into the metrics registry."""
+    if report.quarantine and obs.events.enabled:
+        obs.events.emit("parse.records_quarantined", severity="warning",
+                        skipped=report.skipped_records,
+                        total_lines=report.total_lines,
+                        errors={cls: report.errors_by_class[cls]
+                                for cls in sorted(report.errors_by_class)})
     if not obs.registry.enabled:
         return
     registry = obs.registry

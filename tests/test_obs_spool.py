@@ -1,0 +1,161 @@
+"""Per-worker telemetry spools: framing, incremental flush, torn tails."""
+
+import json
+
+from repro.obs import make_instrumentation
+from repro.obs.spool import (
+    SPOOL_SUFFIX,
+    TelemetrySpool,
+    read_spool,
+    read_spool_frames,
+)
+from repro.obs.tracing import verify_span_tree
+from repro.resilience.checkpoint import frame_line
+from tests.test_obs_metrics import FakeClock
+
+
+def make_spool(tmp_path, worker="w0", **kwargs):
+    return TelemetrySpool(tmp_path / "telemetry", worker,
+                          campaign="cafe0123", **kwargs)
+
+
+def fill(obs, *, events=1, spans=1, counts=1):
+    for index in range(events):
+        obs.events.emit(f"e{index}", run_key=("OP_V", "A9", "L", index))
+    for index in range(spans):
+        with obs.tracer.span("run", run_index=index):
+            with obs.tracer.span("parse"):
+                pass
+    for _ in range(counts):
+        obs.registry.counter("campaign_runs_completed_total").inc()
+
+
+class TestSpoolWriting:
+    def test_open_writes_a_meta_frame_with_identity(self, tmp_path):
+        spool = make_spool(tmp_path)
+        spool.open()
+        content = read_spool(spool.path)
+        assert spool.path.name == "w0" + SPOOL_SUFFIX
+        [meta] = content.sessions
+        assert meta["worker"] == "w0"
+        assert meta["campaign"] == "cafe0123"
+        assert meta["session"] == spool.session
+        assert content.latest_session == spool.session
+
+    def test_flush_is_incremental_per_layer(self, tmp_path):
+        spool = make_spool(tmp_path)
+        obs = make_instrumentation(clock=FakeClock())
+        fill(obs, events=2, spans=1, counts=1)
+        assert spool.flush(obs) == 3  # events + spans + metrics frames
+        assert spool.flush(obs) == 0  # nothing new → no frames at all
+        fill(obs, events=1, spans=0, counts=1)
+        assert spool.flush(obs) == 2  # one events frame, one metrics frame
+        content = read_spool(spool.path)
+        assert [event.name for event in content.events] == ["e0", "e1", "e0"]
+        # The metrics frame is cumulative: latest-wins per session.
+        [snapshot] = content.metrics.values()
+        assert snapshot["counters"][
+            "campaign_runs_completed_total"][""] == 2
+
+    def test_events_and_spans_appear_exactly_once_across_flushes(
+            self, tmp_path):
+        spool = make_spool(tmp_path)
+        obs = make_instrumentation(clock=FakeClock())
+        for _ in range(3):
+            fill(obs, events=1, spans=1, counts=0)
+            spool.flush(obs)
+        content = read_spool(spool.path)
+        assert len(content.events) == 3
+        assert len(content.spans) == 6  # run + parse per fill
+
+    def test_restart_appends_a_new_session_to_the_same_file(self, tmp_path):
+        first = make_spool(tmp_path)
+        obs = make_instrumentation(clock=FakeClock())
+        fill(obs, events=1, spans=0, counts=0)
+        first.flush(obs)
+        second = make_spool(tmp_path)  # same worker id, new incarnation
+        second.open()
+        content = read_spool(first.path)
+        assert len(content.sessions) == 2
+        assert content.latest_session == second.session
+
+
+class TestTornAndCorruptSpools:
+    def test_torn_tail_is_detected_and_earlier_frames_survive(
+            self, tmp_path):
+        spool = make_spool(tmp_path)
+        obs = make_instrumentation(clock=FakeClock())
+        fill(obs, events=2, spans=2, counts=1)
+        spool.flush(obs)
+        blob = spool.path.read_bytes()
+        # SIGKILL mid-append: the last line is half-written.
+        spool.path.write_bytes(blob[:-20])
+        content = read_spool(spool.path)
+        assert content.torn is True
+        assert content.skipped == 0  # a torn tail is not corruption
+        assert [event.name for event in content.events] == ["e0", "e1"]
+
+    def test_span_tree_recovered_from_a_torn_spool_verifies(self, tmp_path):
+        # The acceptance property: spans flushed before the kill are
+        # recoverable as a structurally valid tree even when the spool
+        # ends mid-frame.
+        spool = make_spool(tmp_path)
+        obs = make_instrumentation(clock=FakeClock())
+        fill(obs, events=0, spans=3, counts=0)
+        spool.flush(obs)
+        fill(obs, events=0, spans=1, counts=3)
+        spool.flush(obs)
+        blob = spool.path.read_bytes()
+        spool.path.write_bytes(blob[:-30])  # tear the final frame
+        content = read_spool(spool.path)
+        assert content.torn is True
+        assert len(content.spans) >= 6  # everything from the first flush
+        assert verify_span_tree(content.spans) == []
+
+    def test_crc_corrupt_line_is_skipped_and_counted(self, tmp_path):
+        spool = make_spool(tmp_path)
+        obs = make_instrumentation(clock=FakeClock())
+        fill(obs, events=2, spans=0, counts=0)
+        spool.flush(obs)
+        lines = spool.path.read_text().splitlines()
+        lines[1] = lines[1][:12] + "X" + lines[1][13:]  # flip inside payload
+        spool.path.write_text("\n".join(lines) + "\n")
+        content = read_spool(spool.path)
+        assert content.skipped == 1
+        assert content.events == []  # the events frame was the corrupt one
+        assert len(content.sessions) == 1
+
+    def test_reopen_after_tear_repairs_the_tail(self, tmp_path):
+        spool = make_spool(tmp_path)
+        obs = make_instrumentation(clock=FakeClock())
+        fill(obs, events=1, spans=0, counts=0)
+        spool.flush(obs)
+        spool.path.write_bytes(spool.path.read_bytes()[:-5])
+        revived = make_spool(tmp_path)
+        revived.open()
+        content = read_spool(spool.path)
+        assert content.torn is False  # the newline splice sealed the tear
+        assert content.latest_session == revived.session
+
+    def test_unframed_garbage_line_is_skipped(self, tmp_path):
+        path = tmp_path / ("w9" + SPOOL_SUFFIX)
+        path.write_text(frame_line(json.dumps({"no_type": 1})) + "\n"
+                        "not a frame at all\n")
+        frames, offset, skipped, torn = read_spool_frames(path)
+        assert frames == []
+        assert skipped == 2
+        assert torn is False
+        assert offset == path.stat().st_size
+
+    def test_offset_tailing_never_rereads_frames(self, tmp_path):
+        spool = make_spool(tmp_path)
+        obs = make_instrumentation(clock=FakeClock())
+        fill(obs, events=1, spans=0, counts=0)
+        spool.flush(obs)
+        frames, offset, _, _ = read_spool_frames(spool.path)
+        assert len(frames) == 2  # meta + events
+        fill(obs, events=1, spans=0, counts=0)
+        spool.flush(obs)
+        fresh, _, _, _ = read_spool_frames(spool.path, offset)
+        assert len(fresh) == 1
+        assert fresh[0]["t"] == "events"

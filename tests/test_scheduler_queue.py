@@ -22,6 +22,7 @@ import os
 import signal
 import subprocess
 import sys
+import threading
 from pathlib import Path
 from types import SimpleNamespace
 
@@ -189,7 +190,22 @@ def sequential(tmp_path_factory):
                            counters=load_counters(metrics))
 
 
-def run_queue_campaign(tmp_path, worker_extra_args):
+def poll_status_json(queue_dir, views, stop):
+    """Run ``repro status --json`` in a loop while the campaign lives.
+
+    Every successful poll must parse as JSON — that *is* the assertion:
+    the status surface stays coherent mid-campaign, beside a live
+    coordinator and workers.
+    """
+    while not stop.is_set():
+        proc = run_cli(["status", str(queue_dir), "--json",
+                        "--events", "100"], timeout=60)
+        if proc.returncode == 0:
+            views.append(json.loads(proc.stdout))
+        stop.wait(0.25)
+
+
+def run_queue_campaign(tmp_path, worker_extra_args, poll_status=False):
     """Start workers first (they poll for the spool), then coordinate."""
     queue_dir = tmp_path / "qdir"
     checkpoint = tmp_path / "ck.jsonl"
@@ -202,6 +218,13 @@ def run_queue_campaign(tmp_path, worker_extra_args):
             env=ENV, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
             text=True)
         for index, extra in enumerate(worker_extra_args)]
+    status_views = []
+    stop_polling = threading.Event()
+    poller = threading.Thread(target=poll_status_json,
+                              args=(queue_dir, status_views, stop_polling),
+                              daemon=True)
+    if poll_status:
+        poller.start()
     try:
         coordinator = run_cli(["campaign", *CAMPAIGN_ARGS,
                                "--scheduler", "queue",
@@ -211,12 +234,16 @@ def run_queue_campaign(tmp_path, worker_extra_args):
                                "--metrics-out", str(metrics)])
         worker_codes = [worker.wait(timeout=120) for worker in workers]
     finally:
+        stop_polling.set()
+        if poll_status:
+            poller.join(timeout=120)
         for worker in workers:
             if worker.poll() is None:
                 worker.kill()
             worker.communicate()
     return SimpleNamespace(coordinator=coordinator, worker_codes=worker_codes,
-                           checkpoint=checkpoint, metrics=metrics)
+                           checkpoint=checkpoint, metrics=metrics,
+                           queue_dir=queue_dir, status_views=status_views)
 
 
 class TestQueueDrainEndToEnd:
@@ -235,9 +262,11 @@ class TestQueueDrainEndToEnd:
             self, tmp_path, sequential):
         # w0 SIGKILLs itself right after its first claim (before
         # executing it) under a short lease; w1 must steal the orphaned
-        # lease and the merge must not show a seam.
+        # lease and the merge must not show a seam.  `repro status
+        # --json` polls beside the campaign the whole time.
         outcome = run_queue_campaign(
-            tmp_path, [["--fail-after", "1", "--lease", "3"], []])
+            tmp_path, [["--fail-after", "1", "--lease", "3"], []],
+            poll_status=True)
         assert outcome.coordinator.returncode == 0, \
             outcome.coordinator.stderr
         assert outcome.worker_codes[0] == -signal.SIGKILL
@@ -247,3 +276,39 @@ class TestQueueDrainEndToEnd:
         assert load_counters(outcome.metrics) == sequential.counters
         assert counter_total(outcome.metrics, "runs_stolen_total") >= 1
         assert counter_total(outcome.metrics, "leases_expired_total") >= 1
+        self._check_status_views(outcome)
+
+    def _check_status_views(self, outcome):
+        """The telemetry-plane acceptance assertions over the drain."""
+        # Mid-campaign polls parsed (poll_status_json already proved
+        # JSON validity); at least one saw work outstanding.
+        assert outcome.status_views
+        assert any(view["queue"]["submitted"] > 0
+                   for view in outcome.status_views)
+        # The post-campaign view replays everything durably.
+        proc = run_cli(["status", str(outcome.queue_dir), "--json",
+                        "--events", "200"])
+        assert proc.returncode == 0, proc.stderr
+        final = json.loads(proc.stdout)
+        assert final["queue"]["depth"] == 0
+        assert final["queue"]["drained"] is True
+        names = [event["name"] for event in final["events"]]
+        assert "queue.run_stolen" in names
+        assert "queue.lease_expired" in names
+        # The SIGKILLed worker's pre-kill telemetry survives in its
+        # spool, attributed: its claim and the fault-injection marker.
+        w0_events = {event["name"] for event in final["events"]
+                     if event.get("worker") == "w0"}
+        assert "worker.claim" in w0_events
+        assert "worker.fail_injection" in w0_events
+        # Worker liveness: both workers are known; the victim's stolen
+        # run ended up attributed to the survivor at some point.
+        workers = {record["worker"]: record for record in final["workers"]}
+        assert set(workers) == {"w0", "w1"}
+        assert all("live" in record for record in workers.values())
+        # Aggregated completions reconcile with the coordinator's own
+        # final metrics export (w0 completed nothing before the kill).
+        assert final["counters"].get("campaign_runs_completed_total") \
+            == counter_total(outcome.metrics,
+                             "campaign_runs_completed_total")
+        assert final["telemetry"]["spools"] == 2
