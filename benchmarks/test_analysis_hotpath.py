@@ -402,3 +402,79 @@ def test_analyze_trace_end_to_end_speedup():
           f"{len(dedup_sequence(intervals))} dedup cell sets")
     speedup = _record_timing("analyze_trace_end_to_end", naive_s, fast_s)
     assert speedup >= 3.0, f"analyze_trace speedup {speedup:.1f}x < 3x"
+
+
+def _pr5_analyze_trace(trace):
+    """The pre-columnar pipeline: the retained per-record library
+    functions, called in the exact shape ``analyze_trace`` had before
+    the columnar data plane (one record materialization, per-record
+    two-pointer merges and cursors)."""
+    from repro.core.cellset import extract_cellset_sequence
+    from repro.core.classify import LoopSubtype, classify_loop
+    from repro.core.loops import loop_window
+    from repro.core.metrics import loop_cycles
+    from repro.core.pipeline import (
+        RunAnalysis,
+        _collect_measurement_stats,
+        _scell_modification_outcomes,
+    )
+    from repro.cells.cell import Rat
+
+    records = trace.signaling_records()
+    end_time = trace.records[-1].time_s if trace.records else 0.0
+    intervals = extract_cellset_sequence(records, end_time_s=end_time)
+    detection = detect_loop(intervals)
+    if detection.is_loop:
+        subtype, transitions = classify_loop(records, intervals)
+    else:
+        subtype, transitions = LoopSubtype.UNKNOWN, []
+    cycles = loop_cycles(intervals, loop_window(intervals, detection)) \
+        if detection.is_loop else []
+    performance = run_performance(intervals, trace.throughput_series())
+    analysis = RunAnalysis(
+        metadata=trace.metadata,
+        intervals=intervals,
+        detection=detection,
+        subtype=subtype,
+        transitions=transitions,
+        cycles=cycles,
+        performance=performance,
+        scg_meas_delays=scg_measurement_delays(records),
+        scell_mods=_scell_modification_outcomes(records),
+        duration_s=trace.duration_s,
+        n_cs_samples=len(intervals),
+    )
+    for interval in intervals:
+        analysis.unique_cellsets.add(interval.cellset)
+    for cellset in analysis.unique_cellsets:
+        for cell in cellset.all_cells():
+            analysis.observed_cells.add(cell)
+            if cell.rat is Rat.NR:
+                analysis.serving_nr_channels.add(cell.channel)
+            else:
+                analysis.serving_lte_channels.add(cell.channel)
+    _collect_measurement_stats(records, analysis)
+    return analysis
+
+
+def test_analyze_trace_columnar_vs_per_record_bit_identical_and_faster():
+    """The tentpole gate: the columnar data plane must beat the PR 5
+    per-record pipeline >=3x end to end while staying bit-identical on
+    every ``RunAnalysis`` field."""
+    import dataclasses
+
+    trace = _synthetic_trace()
+
+    pr5_s = _best_of(lambda: _pr5_analyze_trace(trace), repeats=3)
+    fast_s = _best_of(lambda: analyze_trace(trace), repeats=3)
+
+    expected = _pr5_analyze_trace(trace)
+    actual = analyze_trace(trace)
+    for field in dataclasses.fields(type(expected)):
+        assert getattr(actual, field.name) == getattr(expected, field.name), \
+            f"columnar analyze_trace diverges on {field.name}"
+
+    print_header("Hot path — analyze_trace, columnar vs per-record")
+    speedup = _record_timing("analyze_trace_columnar", pr5_s, fast_s)
+    assert speedup >= 3.0, \
+        f"columnar analyze_trace speedup {speedup:.1f}x < 3x"

@@ -1,14 +1,26 @@
-"""CSV dataset export — the released-dataset (MI-LAB) emulation.
+"""Dataset export — the released-dataset (MI-LAB) emulation.
 
 The paper ships its measurement dataset as per-run / per-instance
-tables.  This module exports a :class:`CampaignResult` into three CSVs
-with the same granularity:
+tables.  This module exports a :class:`CampaignResult` into three
+tables with the same granularity:
 
-* ``runs.csv`` — one row per run: metadata, loop verdict, sub-type,
+* ``runs`` — one row per run: metadata, loop verdict, sub-type,
   cycle counts, speed statistics;
-* ``cycles.csv`` — one row per ON-OFF cycle: durations and ratio;
-* ``transitions.csv`` — one row per classified 5G-OFF transition:
+* ``cycles`` — one row per ON-OFF cycle: durations and ratio;
+* ``transitions`` — one row per classified 5G-OFF transition:
   time, sub-type, problematic cell.
+
+Each table is built once as a list of native-typed row dicts (``None``
+marks a blank — no-loop runs carry no loop verdict fields) and rendered
+to CSV; when :mod:`pyarrow` is importable the same rows are also
+written as Parquet.  The CSV path never depends on pyarrow.
+
+Loop verdict columns (``loop_kind``, ``loop_period``,
+``loop_repetitions``, ``subtype``) are blank for runs without a loop:
+a no-loop run has no loop kind, and its detector period/repetitions
+are internal detector state, not dataset facts.  All writers pin
+``lineterminator="\\n"`` so exports are byte-identical across
+platforms.
 """
 
 from __future__ import annotations
@@ -37,15 +49,14 @@ TRANSITION_FIELDS = [
 ]
 
 
-def runs_csv(result: CampaignResult) -> str:
-    """Render the per-run table as CSV text."""
-    buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=RUN_FIELDS)
-    writer.writeheader()
+def run_rows(result: CampaignResult) -> list[dict]:
+    """Native-typed per-run rows (``None`` = blank CSV cell)."""
+    rows = []
     for run in result.runs:
         analysis = run.analysis
         metadata = run.metadata
-        writer.writerow({
+        has_loop = analysis.has_loop
+        rows.append({
             "operator": metadata.operator,
             "area": metadata.area,
             "location": metadata.location,
@@ -53,30 +64,29 @@ def runs_csv(result: CampaignResult) -> str:
             "run_seed": metadata.run_seed,
             "mode": metadata.mode,
             "duration_s": round(analysis.duration_s, 1),
-            "loop": int(analysis.has_loop),
-            "loop_kind": analysis.loop_kind.value,
-            "subtype": analysis.subtype.value if analysis.has_loop else "",
-            "loop_period": analysis.detection.period,
-            "loop_repetitions": analysis.detection.repetitions,
+            "loop": int(has_loop),
+            "loop_kind": analysis.loop_kind.value if has_loop else None,
+            "subtype": analysis.subtype.value if has_loop else None,
+            "loop_period": analysis.detection.period if has_loop else None,
+            "loop_repetitions":
+                analysis.detection.repetitions if has_loop else None,
             "n_cycles": len(analysis.cycles),
             "median_on_mbps": round(analysis.performance.median_on_mbps, 2),
             "median_off_mbps": round(analysis.performance.median_off_mbps, 2),
             "n_cellset_changes": analysis.n_cs_samples,
             "n_unique_cellsets": len(analysis.unique_cellsets),
         })
-    return buffer.getvalue()
+    return rows
 
 
-def cycles_csv(result: CampaignResult) -> str:
-    """Render the per-cycle table as CSV text."""
-    buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=CYCLE_FIELDS)
-    writer.writeheader()
+def cycle_rows(result: CampaignResult) -> list[dict]:
+    """Native-typed per-cycle rows (loop runs only)."""
+    rows = []
     for run in result.runs:
         if not run.has_loop:
             continue
         for cycle in run.analysis.cycles:
-            writer.writerow({
+            rows.append({
                 "operator": run.metadata.operator,
                 "area": run.metadata.area,
                 "location": run.metadata.location,
@@ -87,40 +97,92 @@ def cycles_csv(result: CampaignResult) -> str:
                 "cycle_s": round(cycle.cycle_s, 2),
                 "off_ratio": round(cycle.off_ratio, 4),
             })
-    return buffer.getvalue()
+    return rows
 
 
-def transitions_csv(result: CampaignResult) -> str:
-    """Render the per-transition table as CSV text."""
-    buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=TRANSITION_FIELDS)
-    writer.writeheader()
+def transition_rows(result: CampaignResult) -> list[dict]:
+    """Native-typed per-transition rows."""
+    rows = []
     for run in result.runs:
         for transition in run.analysis.transitions:
             cell = transition.problem_cell
-            writer.writerow({
+            rows.append({
                 "operator": run.metadata.operator,
                 "area": run.metadata.area,
                 "location": run.metadata.location,
                 "run_seed": run.metadata.run_seed,
                 "time_s": round(transition.time_s, 2),
                 "subtype": transition.subtype.value,
-                "problem_cell": cell.notation if cell else "",
-                "problem_channel": cell.channel if cell else "",
+                "problem_cell": cell.notation if cell else None,
+                "problem_channel": cell.channel if cell else None,
             })
+    return rows
+
+
+def _render_csv(rows: list[dict], fields: list[str]) -> str:
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fields, lineterminator="\n")
+    writer.writeheader()
+    writer.writerows(rows)
     return buffer.getvalue()
 
 
-def export_dataset(result: CampaignResult, directory: str | Path) -> dict[str, Path]:
-    """Write all three CSVs into a directory; returns the written paths."""
+def runs_csv(result: CampaignResult) -> str:
+    """Render the per-run table as CSV text."""
+    return _render_csv(run_rows(result), RUN_FIELDS)
+
+
+def cycles_csv(result: CampaignResult) -> str:
+    """Render the per-cycle table as CSV text."""
+    return _render_csv(cycle_rows(result), CYCLE_FIELDS)
+
+
+def transitions_csv(result: CampaignResult) -> str:
+    """Render the per-transition table as CSV text."""
+    return _render_csv(transition_rows(result), TRANSITION_FIELDS)
+
+
+def parquet_available() -> bool:
+    """Is :mod:`pyarrow` importable (soft dependency)?"""
+    try:
+        import pyarrow  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _write_parquet(rows: list[dict], fields: list[str], path: Path) -> None:
+    import pyarrow as pa
+    import pyarrow.parquet as pq
+
+    table = pa.table({field: [row.get(field) for row in rows]
+                      for field in fields})
+    pq.write_table(table, path)
+
+
+def export_dataset(result: CampaignResult,
+                   directory: str | Path) -> dict[str, Path]:
+    """Write the three tables into a directory; returns the written paths.
+
+    Always writes ``runs.csv`` / ``cycles.csv`` / ``transitions.csv``.
+    When pyarrow is importable the same rows are also written as
+    ``runs.parquet`` / ``cycles.parquet`` / ``transitions.parquet``,
+    returned under ``runs_parquet`` / ``cycles_parquet`` /
+    ``transitions_parquet`` keys.
+    """
     target = Path(directory)
     target.mkdir(parents=True, exist_ok=True)
-    paths = {
-        "runs": target / "runs.csv",
-        "cycles": target / "cycles.csv",
-        "transitions": target / "transitions.csv",
+    tables = {
+        "runs": (run_rows(result), RUN_FIELDS),
+        "cycles": (cycle_rows(result), CYCLE_FIELDS),
+        "transitions": (transition_rows(result), TRANSITION_FIELDS),
     }
-    paths["runs"].write_text(runs_csv(result), encoding="utf-8")
-    paths["cycles"].write_text(cycles_csv(result), encoding="utf-8")
-    paths["transitions"].write_text(transitions_csv(result), encoding="utf-8")
+    paths: dict[str, Path] = {}
+    with_parquet = parquet_available()
+    for name, (rows, fields) in tables.items():
+        paths[name] = target / f"{name}.csv"
+        paths[name].write_text(_render_csv(rows, fields), encoding="utf-8")
+        if with_parquet:
+            paths[f"{name}_parquet"] = target / f"{name}.parquet"
+            _write_parquet(rows, fields, paths[f"{name}_parquet"])
     return paths

@@ -66,6 +66,7 @@ from repro.obs import (
 from repro.radio.deployment import AreaDeployment
 from repro.radio.geometry import Point
 from repro.resilience.checkpoint import CampaignCheckpoint, CheckpointEntry, RunKey
+from repro.resilience.memo import AnalysisMemo, trace_digest
 from repro.resilience.retry import AttemptOutcome, RetryPolicy, execute_with_retry
 from repro.resilience.supervision import (
     CircuitBreaker,
@@ -90,8 +91,16 @@ def run_once(
     keep_trace: bool = False,
     mode: str = "stationary",
     point_provider: Callable[[int], Point] | None = None,
+    memo: AnalysisMemo | None = None,
 ) -> RunResult:
-    """Simulate and analyse one run at one location."""
+    """Simulate and analyse one run at one location.
+
+    ``memo`` short-circuits the analysis stage through the
+    content-addressed cache (see :mod:`repro.resilience.memo`): the
+    simulated trace's canonical serialisation is digested, a hit
+    returns the cached :class:`RunAnalysis` and a miss analyses then
+    populates the cache.
+    """
     metadata = TraceMetadata(
         operator=profile.name,
         area=deployment.area.name,
@@ -116,7 +125,14 @@ def run_once(
         trace = simulate_run(deployment.environment, profile.policy, device,
                              point, config)
     check_deadline("simulate")
-    analysis = analyze_trace(trace)
+    analysis = None
+    if memo is not None:
+        digest = trace_digest(trace.to_jsonl())
+        analysis = memo.get(digest)
+    if analysis is None:
+        analysis = analyze_trace(trace)
+        if memo is not None:
+            memo.put(digest, analysis)
     return RunResult(metadata=metadata, analysis=analysis,
                      trace=trace if keep_trace else None, point=point)
 
@@ -194,6 +210,14 @@ class CampaignConfig:
     these are execution knobs: they are deliberately excluded from
     :meth:`CampaignRunner.campaign_identity`, so checkpoints and
     spools interoperate across pool/queue/sequential execution.
+
+    ``memo_dir`` enables the content-addressed analysis cache (see
+    :mod:`repro.resilience.memo`): fresh runs digest their simulated
+    traces and resume digests checkpointed trace text, so re-running or
+    resuming a campaign against a warm cache skips re-analysis of
+    unchanged traces.  Also an execution knob — cached results are
+    bit-identical to recomputed ones, so the cache never changes what a
+    campaign produces, only how fast.
     """
 
     device_name: str = "OnePlus 12R"
@@ -220,6 +244,7 @@ class CampaignConfig:
     lease_timeout_s: float = 30.0
     queue_poll_s: float = 0.05
     queue_stall_s: float = 60.0
+    memo_dir: str | Path | None = None
 
     def locations_for(self, area_name: str) -> int:
         return self.a1_locations if area_name == "A1" else self.locations_per_area
@@ -271,6 +296,10 @@ class _WorkerTask:
     policy: RetryPolicy
     instrument: bool
     run_timeout_s: float | None = None
+    # Memo cache wiring (str, not Path: tasks pickle into the durable
+    # queue spool as well as the pool pipe).
+    memo_dir: str | None = None
+    memo_identity: str | None = None
 
 
 @dataclass
@@ -360,6 +389,11 @@ def _execute_worker_task(task: _WorkerTask) -> _WorkerOutcome:
         obs.events = ambient_events
     deployment = _worker_deployment(task.profile, task.area_name)
     test_device = device_by_name(task.device_name)
+    memo = AnalysisMemo(task.memo_dir, identity=task.memo_identity) \
+        if task.memo_dir is not None else None
+    # Tests monkeypatch ``run_once`` with stand-ins that predate the
+    # memo parameter; only forward it when a store is configured.
+    run_kwargs = {"memo": memo} if memo is not None else {}
 
     def attempt() -> RunResult:
         # Each retry attempt gets a fresh cooperative deadline; a run
@@ -370,7 +404,7 @@ def _execute_worker_task(task: _WorkerTask) -> _WorkerOutcome:
             value = run_once(deployment, task.profile, test_device,
                              task.point, task.location_name,
                              task.run_index, duration_s=task.duration_s,
-                             keep_trace=task.keep_trace)
+                             keep_trace=task.keep_trace, **run_kwargs)
             check_deadline("run")
             return value
 
@@ -509,12 +543,20 @@ class CampaignRunner:
             return 1
         return workers
 
+    def _memo(self) -> AnalysisMemo | None:
+        """The campaign's analysis memo cache, or ``None`` when disabled."""
+        if self.config.memo_dir is None:
+            return None
+        return AnalysisMemo(self.config.memo_dir,
+                            identity=self.campaign_identity())
+
     def _run(self, obs: Instrumentation) -> CampaignResult:
         result = CampaignResult()
         checkpoint, restored = self._open_checkpoint()
         policy = self.config.retry_policy()
         breaker = self.config.breaker()
         run_fn = self.run_fn or run_once
+        memo = self._memo()
         test_device = device_by_name(self.config.device_name)
         schedule = list(self.schedule())
         registry, progress = obs.registry, obs.progress
@@ -530,7 +572,7 @@ class CampaignRunner:
                     entry = restored.get(scheduled.key)
                     if entry is not None and entry.succeeded:
                         restored_run = self._restore_span(entry, scheduled,
-                                                          obs)
+                                                          obs, memo)
                         if restored_run is not None:
                             result.add(restored_run)
                             registry.counter(
@@ -541,7 +583,7 @@ class CampaignRunner:
                             breaker.record_success()
                             continue
                     if self._execute(scheduled, run_fn, test_device, policy,
-                                     checkpoint, result, obs):
+                                     checkpoint, result, obs, memo):
                         breaker.record_success()
                     else:
                         # May raise CircuitBreakerOpen (fail fast with a
@@ -636,6 +678,7 @@ class CampaignRunner:
             raise
         result = CampaignResult()
         test_device = device_by_name(self.config.device_name)
+        memo = self._memo()
         schedule = list(self.schedule())
         registry, progress = obs.registry, obs.progress
         keep_trace = self.config.keep_traces or checkpoint is not None
@@ -652,7 +695,7 @@ class CampaignRunner:
             registry.counter("campaign_runs_scheduled_total").inc()
             if item.handle is None:  # checkpointed: restore in-parent
                 entry = restored[scheduled.key]
-                restored_run = self._restore_span(entry, scheduled, obs)
+                restored_run = self._restore_span(entry, scheduled, obs, memo)
                 if restored_run is not None:
                     result.add(restored_run)
                     registry.counter(
@@ -666,7 +709,7 @@ class CampaignRunner:
                 # re-execute in-process, exactly like sequential.
                 if self._execute(scheduled, self.run_fn or run_once,
                                  test_device, policy, checkpoint,
-                                 result, obs):
+                                 result, obs, memo):
                     breaker.record_success()
                 else:
                     breaker.record_failure("quarantine", scheduled.key)
@@ -703,7 +746,13 @@ class CampaignRunner:
                             duration_s=self.config.duration_s,
                             keep_trace=keep_trace, policy=policy,
                             instrument=instrument,
-                            run_timeout_s=self.config.run_timeout_s)
+                            run_timeout_s=self.config.run_timeout_s,
+                            memo_dir=(str(self.config.memo_dir)
+                                      if self.config.memo_dir is not None
+                                      else None),
+                            memo_identity=(self.campaign_identity()
+                                           if self.config.memo_dir is not None
+                                           else None))
                         item = PendingRun(scheduled=scheduled, task=task)
                         scheduler.submit(item)
                         pending.append(item)
@@ -897,7 +946,8 @@ class CampaignRunner:
 
     def _execute(self, scheduled: ScheduledRun, run_fn, test_device,
                  policy: RetryPolicy, checkpoint: CampaignCheckpoint | None,
-                 result: CampaignResult, obs: Instrumentation) -> bool:
+                 result: CampaignResult, obs: Instrumentation,
+                 memo: AnalysisMemo | None = None) -> bool:
         """One run through the retry loop: add, checkpoint or quarantine.
 
         Returns True when the run completed, False when it quarantined
@@ -906,6 +956,10 @@ class CampaignRunner:
         keep_trace = self.config.keep_traces or checkpoint is not None
         registry, progress = obs.registry, obs.progress
         run_timeout = self.config.run_timeout_s
+        # Only the stock run_once knows the memo protocol; custom
+        # run_fn hooks (the chaos harness) keep their exact signature.
+        run_kwargs = {"memo": memo} \
+            if memo is not None and run_fn is run_once else {}
 
         def attempt() -> RunResult:
             with deadline_scope(run_timeout):
@@ -913,7 +967,7 @@ class CampaignRunner:
                                test_device, scheduled.point,
                                scheduled.location_name, scheduled.run_index,
                                duration_s=self.config.duration_s,
-                               keep_trace=keep_trace)
+                               keep_trace=keep_trace, **run_kwargs)
                 check_deadline("run")
                 return value
 
@@ -954,14 +1008,15 @@ class CampaignRunner:
             return True
 
     def _restore_span(self, entry: CheckpointEntry, scheduled: ScheduledRun,
-                      obs: Instrumentation) -> RunResult | None:
+                      obs: Instrumentation,
+                      memo: AnalysisMemo | None = None) -> RunResult | None:
         """Checkpoint restoration wrapped in its own ``run`` span."""
         with obs.tracer.span("run", operator=scheduled.profile.name,
                              area=scheduled.deployment.area.name,
                              location=scheduled.location_name,
                              run_index=scheduled.run_index,
                              restored=True) as span:
-            restored_run = self._restore(entry, scheduled.point)
+            restored_run = self._restore(entry, scheduled.point, memo)
             span.set_attribute(
                 "outcome", "restored" if restored_run is not None
                 else "restore_failed")
@@ -973,22 +1028,40 @@ class CampaignRunner:
                             run_key=scheduled.key)
         return restored_run
 
-    def _restore(self, entry: CheckpointEntry,
-                 point: Point) -> RunResult | None:
+    def _restore(self, entry: CheckpointEntry, point: Point,
+                 memo: AnalysisMemo | None = None) -> RunResult | None:
         """Rebuild a RunResult from a checkpointed trace (no re-simulation).
 
         Returns ``None`` when the checkpointed trace yields no usable
         records (e.g. the file was corrupted on disk), in which case the
         run is re-executed.
+
+        With a memo cache the checkpoint's embedded trace text *is* the
+        canonical serialisation, so its digest resolves without parsing:
+        a hit skips both the parse and the re-analysis (unless traces
+        must be kept, which needs the parse anyway).
         """
         from repro.traces.parser import parse_trace
 
-        parsed = parse_trace(entry.trace_jsonl or "", errors="recover")
+        trace_jsonl = entry.trace_jsonl or ""
+        digest = trace_digest(trace_jsonl) if memo is not None else None
+        if memo is not None and not self.config.keep_traces:
+            analysis = memo.get(digest)
+            if analysis is not None:
+                return RunResult(metadata=analysis.metadata,
+                                 analysis=analysis, trace=None, point=point)
+        parsed = parse_trace(trace_jsonl, errors="recover")
         trace = parsed.trace
         if not trace.records:
             return None
+        analysis = memo.get(digest) if memo is not None \
+            and self.config.keep_traces else None
+        if analysis is None:
+            analysis = analyze_trace(trace)
+            if memo is not None:
+                memo.put(digest, analysis)
         return RunResult(
             metadata=trace.metadata,
-            analysis=analyze_trace(trace),
+            analysis=analysis,
             trace=trace if self.config.keep_traces else None,
             point=point)

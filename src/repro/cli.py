@@ -96,6 +96,7 @@ from repro.obs import (
 from repro.obs.profile import run_profile
 from repro.resilience.checkpoint import CheckpointMismatchError
 from repro.resilience.faults import FAULT_KINDS, FaultInjector
+from repro.resilience.memo import AnalysisMemo, trace_digest
 from repro.resilience.supervision import (
     CircuitBreakerOpen,
     ShutdownRequested,
@@ -162,6 +163,10 @@ def _add_campaign_parser(subparsers) -> None:
                         help="fail fast when the queue sees no activity "
                              "and no live workers for this long "
                              "(0 disables; default 60)")
+    parser.add_argument("--memo-dir", default=None, metavar="DIR",
+                        help="content-addressed analysis cache; repeated "
+                             "campaigns and --resume skip re-analysis of "
+                             "unchanged traces")
     _add_workers_flag(parser)
     _add_run_timeout_flag(parser)
     _add_observability_flags(parser)
@@ -270,6 +275,9 @@ def _add_analyze_parser(subparsers) -> None:
                         default="strict",
                         help="strict: fail on the first malformed line; "
                              "recover: skip malformed lines and report them")
+    parser.add_argument("--memo-dir", default=None, metavar="DIR",
+                        help="content-addressed analysis cache; re-analysing "
+                             "an unchanged trace becomes a cache hit")
 
 
 def _add_simulate_parser(subparsers) -> None:
@@ -328,6 +336,10 @@ def _add_profile_parser(subparsers) -> None:
                         help="run duration in seconds (default 60)")
     parser.add_argument("--max-retries", type=int, default=0,
                         help="retries per failed run (default 0)")
+    parser.add_argument("--memo-dir", default=None, metavar="DIR",
+                        help="content-addressed analysis cache; a warm "
+                             "cache makes re-profiling pure cache hits "
+                             "(see the 'analysis memo' summary line)")
     _add_workers_flag(parser)
     _add_run_timeout_flag(parser)
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
@@ -444,6 +456,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         queue_dir=args.queue_dir,
         lease_timeout_s=args.lease_timeout,
         queue_stall_s=args.queue_stall,
+        memo_dir=args.memo_dir,
     )
     if args.scheduler == "queue" and not args.queue_dir:
         print("error: --scheduler queue requires --queue-dir",
@@ -512,7 +525,15 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         return 1
     if args.errors == "recover" and not parsed.report.ok:
         print(f"recovered: {parsed.report.summary()}")
-    analysis = analyze_trace(parsed.trace)
+    if args.memo_dir:
+        memo = AnalysisMemo(args.memo_dir)
+        digest = trace_digest(parsed.trace.to_jsonl())
+        analysis = memo.get(digest)
+        if analysis is None:
+            analysis = analyze_trace(parsed.trace)
+            memo.put(digest, analysis)
+    else:
+        analysis = analyze_trace(parsed.trace)
     print(run_report(analysis))
     return 0
 
@@ -565,6 +586,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         workers=args.workers,
         run_timeout_s=args.run_timeout,
         obs=obs,
+        memo_dir=args.memo_dir,
     )
     _flush_observability(report.obs, args)
     print(report.summary())

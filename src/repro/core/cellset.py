@@ -165,6 +165,12 @@ def extract_cellset_sequence(records: list[Record],
     Consecutive identical cell sets are merged; the sequence always
     starts at the first record's time (IDLE if the trace starts before
     any setup).
+
+    Consecutive state-changing records sharing a timestamp (a release
+    immediately re-logged as a setup, say) never emit a zero-duration
+    interval: the last state recorded at that instant wins.  Without
+    this, downstream ``five_g_timeline``/``loop_cycles`` can see
+    degenerate zero-width ON segments and produce ``on_s == 0`` cycles.
     """
     tracker = _CellSetTracker()
     intervals: list[CellSetInterval] = []
@@ -180,12 +186,23 @@ def extract_cellset_sequence(records: list[Record],
         new_set = tracker.snapshot()
         if new_set == current:
             continue
+        if record.time_s == current_start:
+            # Same-timestamp state change: replace the pending state
+            # instead of emitting a zero-width interval.  If the new
+            # state matches the previous interval's, the split was
+            # transient — merge back into it.
+            if intervals and intervals[-1].cellset == new_set \
+                    and intervals[-1].end_s == current_start:
+                current_start = intervals.pop().start_s
+            current = new_set
+            continue
         intervals.append(CellSetInterval(current, current_start, record.time_s))
         current = new_set
         current_start = record.time_s
     final_end = end_time_s if end_time_s is not None else last_time
     final_end = max(final_end, current_start)
-    intervals.append(CellSetInterval(current, current_start, final_end))
+    if final_end > current_start or not intervals:
+        intervals.append(CellSetInterval(current, current_start, final_end))
     return intervals
 
 

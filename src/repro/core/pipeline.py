@@ -14,6 +14,14 @@ from dataclasses import dataclass, field
 
 from repro.cells.cell import CellIdentity, Rat
 from repro.core.cellset import CellSet, CellSetInterval, extract_cellset_sequence
+from repro.core.columnar import (
+    IntervalColumns,
+    RecordColumns,
+    classify_loop_columnar,
+    loop_cycles_columnar,
+    run_performance_columnar,
+    scg_measurement_delays_columnar,
+)
 from repro.core.deadline import check_deadline
 from repro.core.classify import LoopSubtype, OffTransition, classify_loop
 from repro.core.loops import LoopDetection, LoopKind, detect_loop, loop_window
@@ -24,6 +32,8 @@ from repro.core.metrics import (
     run_performance,
     scg_measurement_delays,
 )
+
+import numpy as np
 from repro.obs import get_instrumentation
 from repro.traces.log import SignalingTrace, TraceMetadata
 from repro.traces.records import (
@@ -80,6 +90,9 @@ def _scell_modification_outcomes(records: list[Record]) -> list[ScellModOutcome]
     ``records`` is the run's already-materialized signaling record list;
     the exception lookahead walks it by index inside the 1.5 s window
     instead of slicing a fresh tail list per reconfiguration.
+
+    Retained as the per-record oracle for
+    :func:`_scell_modification_outcomes_columnar`.
     """
     outcomes: list[ScellModOutcome] = []
     n_records = len(records)
@@ -107,10 +120,47 @@ def _scell_modification_outcomes(records: list[Record]) -> list[ScellModOutcome]
     return outcomes
 
 
+def _scell_modification_outcomes_columnar(
+        columns: RecordColumns) -> list[ScellModOutcome]:
+    """Columnar :func:`_scell_modification_outcomes`.
+
+    The per-reconfiguration record lookahead becomes one
+    ``searchsorted`` into the DEREGISTERED line indices: the first
+    DEREGISTERED after the reconfiguration (record order) is the
+    earliest one, so it alone decides whether the exception fell inside
+    the 1.5 s window — any earlier record past the cutoff would also
+    place that DEREGISTERED past the cutoff (times are non-decreasing).
+    """
+    outcomes: list[ScellModOutcome] = []
+    dereg_t = columns.dereg_t
+    dereg_index = columns.dereg_sig_index
+    for position, record in enumerate(columns.scellmod):
+        if record.is_handover or record.adds_scg or record.release_scg:
+            continue
+        after = int(np.searchsorted(dereg_index,
+                                    columns.scellmod_sig_index[position],
+                                    side="right"))
+        failed = bool(after < dereg_t.size
+                      and dereg_t[after] <= record.time_s + 1.5)
+        for entry in record.scell_add_mod:
+            outcomes.append(ScellModOutcome(channel=entry.identity.channel,
+                                            failed=failed))
+    return outcomes
+
+
 def _collect_measurement_stats(records: list[Record],
                                analysis: RunAnalysis) -> None:
-    """Tally observed cells, RSRP samples, and per-channel serving RSRP."""
-    serving_now: set[CellIdentity] = set()
+    """Tally observed cells, RSRP samples, and per-channel serving RSRP.
+
+    Reports timestamped before the first interval carry no known
+    serving set — they still count toward ``observed_cells`` and
+    ``n_rsrp_samples`` but must not be attributed to the first
+    interval's cells (that inflates ``serving_nr_rsrp``, Figure 17).
+
+    Retained as the per-record oracle for
+    :func:`_collect_measurement_stats_columnar`.
+    """
+    serving_now: frozenset[CellIdentity] | set[CellIdentity] = set()
     interval_index = 0
     intervals = analysis.intervals
     for record in records:
@@ -119,14 +169,51 @@ def _collect_measurement_stats(records: list[Record],
         while interval_index < len(intervals) - 1 and \
                 intervals[interval_index].end_s <= record.time_s:
             interval_index += 1
-        serving_now = intervals[interval_index].cellset.all_cells() \
-            if intervals else set()
+        if not intervals or record.time_s < intervals[0].start_s:
+            serving_now = set()
+        else:
+            serving_now = intervals[interval_index].cellset.all_cells()
         for measurement in record.measurements:
             analysis.observed_cells.add(measurement.identity)
             analysis.n_rsrp_samples += 1
             identity = measurement.identity
             if identity.rat is Rat.NR and identity in serving_now:
                 analysis.serving_nr_rsrp.setdefault(identity.channel, []).append(
+                    measurement.rsrp_dbm)
+
+
+def _collect_measurement_stats_columnar(rcolumns: RecordColumns,
+                                        icolumns: IntervalColumns,
+                                        analysis: RunAnalysis) -> None:
+    """Columnar :func:`_collect_measurement_stats`.
+
+    The interval cursor becomes one ``searchsorted`` of the report
+    times into the interval ends (sans the last — the cursor never
+    advances past it); pre-timeline reports get the empty serving set.
+    Cell-set membership is resolved per *unique* cell set, not per
+    report.
+    """
+    intervals_present = icolumns.start.size > 0
+    empty_serving: frozenset[CellIdentity] = frozenset()
+    serving_cache = [cellset.all_cells() for cellset in icolumns.cellsets]
+    if intervals_present:
+        indices = np.searchsorted(icolumns.end[:-1], rcolumns.meas_t,
+                                  side="right")
+        pre_timeline = rcolumns.meas_t < icolumns.start[0]
+    observed = analysis.observed_cells
+    serving_nr_rsrp = analysis.serving_nr_rsrp
+    for position, record in enumerate(rcolumns.meas_reports):
+        if not intervals_present or pre_timeline[position]:
+            serving_now = empty_serving
+        else:
+            serving_now = serving_cache[
+                icolumns.cellset_id[indices[position]]]
+        for measurement in record.measurements:
+            identity = measurement.identity
+            observed.add(identity)
+            analysis.n_rsrp_samples += 1
+            if identity.rat is Rat.NR and identity in serving_now:
+                serving_nr_rsrp.setdefault(identity.channel, []).append(
                     measurement.rsrp_dbm)
 
 
@@ -146,25 +233,28 @@ def analyze_trace(trace: SignalingTrace) -> RunAnalysis:
     with obs.tracer.span("analyze", operator=trace.metadata.operator,
                          area=trace.metadata.area,
                          location=trace.metadata.location):
-        records = trace.signaling_records()
         end_time = trace.records[-1].time_s if trace.records else 0.0
         with registry.timer("stage_seconds", stage="extract_cellsets"):
-            intervals = extract_cellset_sequence(records, end_time_s=end_time)
+            rcolumns = RecordColumns.from_trace(trace)
+            intervals = extract_cellset_sequence(rcolumns.signaling,
+                                                 end_time_s=end_time)
+            icolumns = IntervalColumns.from_intervals(intervals)
         check_deadline("extract_cellsets")
         with registry.timer("stage_seconds", stage="detect_loop"):
             detection = detect_loop(intervals)
         check_deadline("detect_loop")
         with registry.timer("stage_seconds", stage="classify"):
             if detection.is_loop:
-                subtype, transitions = classify_loop(records, intervals)
+                subtype, transitions = classify_loop_columnar(rcolumns,
+                                                              icolumns)
             else:
                 subtype, transitions = LoopSubtype.UNKNOWN, []
         check_deadline("classify")
         with registry.timer("stage_seconds", stage="loop_metrics"):
-            cycles = loop_cycles(intervals, loop_window(intervals, detection)) \
+            cycles = loop_cycles_columnar(
+                icolumns, loop_window(intervals, detection)) \
                 if detection.is_loop else []
-            performance = run_performance(intervals,
-                                          trace.throughput_series())
+            performance = run_performance_columnar(icolumns, rcolumns)
         check_deadline("loop_metrics")
 
         analysis = RunAnalysis(
@@ -175,21 +265,21 @@ def analyze_trace(trace: SignalingTrace) -> RunAnalysis:
             transitions=transitions,
             cycles=cycles,
             performance=performance,
-            scg_meas_delays=scg_measurement_delays(records),
-            scell_mods=_scell_modification_outcomes(records),
+            scg_meas_delays=scg_measurement_delays_columnar(rcolumns),
+            scell_mods=_scell_modification_outcomes_columnar(rcolumns),
             duration_s=trace.duration_s,
             n_cs_samples=len(intervals),
         )
         with registry.timer("stage_seconds", stage="collect_stats"):
-            for interval in intervals:
-                analysis.unique_cellsets.add(interval.cellset)
-                for cell in interval.cellset.all_cells():
+            analysis.unique_cellsets.update(icolumns.cellsets)
+            for cellset in icolumns.cellsets:
+                for cell in cellset.all_cells():
                     analysis.observed_cells.add(cell)
                     if cell.rat is Rat.NR:
                         analysis.serving_nr_channels.add(cell.channel)
                     else:
                         analysis.serving_lte_channels.add(cell.channel)
-            _collect_measurement_stats(records, analysis)
+            _collect_measurement_stats_columnar(rcolumns, icolumns, analysis)
         registry.counter("pipeline_runs_analyzed_total").inc()
         if detection.is_loop:
             registry.counter("pipeline_loops_detected_total").inc(

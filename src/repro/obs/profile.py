@@ -96,6 +96,9 @@ class ProfileReport:
         leases = registry.gauge("leases_active").value()
         expired = registry.counter("leases_expired_total").total()
         stolen = registry.counter("runs_stolen_total").total()
+        memo_hits = registry.counter("analysis_memo_hits_total").total()
+        memo_misses = registry.counter("analysis_memo_misses_total").total()
+        memo_corrupt = registry.counter("analysis_memo_corrupt_total").total()
         lines = [
             f"runs: {scheduled:g} scheduled, {completed:g} completed, "
             f"{quarantined:g} quarantined, {retries:g} retries",
@@ -105,6 +108,8 @@ class ProfileReport:
             f"breaker trips, {skipped:g} checkpoint lines skipped",
             f"queue: {depth:g} deep, {leases:g} leases active, "
             f"{expired:g} leases expired, {stolen:g} runs stolen",
+            f"analysis memo: {memo_hits:g} hits, {memo_misses:g} misses, "
+            f"{memo_corrupt:g} corrupt",
             "",
             stage_table(registry),
         ]
@@ -146,12 +151,16 @@ def run_profile(seed: int = 42,
                 run_timeout_s: float | None = None,
                 clock: Callable[[], float] = time.monotonic,
                 obs: Instrumentation | None = None,
+                memo_dir: str | None = None,
                 ) -> ProfileReport:
     """Run the instrumented mini-campaign behind ``repro profile``.
 
     ``obs`` lets a caller supply a pre-configured live bundle (the CLI
     attaches its ``--log-level`` stderr sink first); ``None`` builds a
-    fresh one on ``clock``.
+    fresh one on ``clock``.  ``memo_dir`` points the campaign at a
+    content-addressed analysis cache — a warm cache turns re-profiling
+    into pure cache hits, reported in the summary's ``analysis memo``
+    line.
     """
     from repro.campaign.operators import OPERATORS, operator
     from repro.campaign.runner import CampaignConfig, CampaignRunner
@@ -170,6 +179,7 @@ def run_profile(seed: int = 42,
         max_retries=max_retries,
         workers=workers,
         run_timeout_s=run_timeout_s,
+        memo_dir=memo_dir,
     )
     if obs is None:
         obs = make_instrumentation(clock=clock)

@@ -13,6 +13,9 @@ pipeline layers share:
   campaign runs.
 * :mod:`repro.resilience.checkpoint` — append-only JSONL campaign
   checkpointing for interrupt/resume.
+* :mod:`repro.resilience.memo` — the content-addressed analysis cache
+  (campaign identity + trace digest), so resume and repeated profiling
+  skip re-analysis of unchanged traces.
 * :mod:`repro.resilience.faults` — the seeded :class:`FaultInjector`
   that corrupts serialized traces the way real captures go bad.
 * :mod:`repro.resilience.chaos` — the chaos harness running the full
@@ -55,6 +58,7 @@ from repro.resilience.faults import (
     InjectionReport,
 )
 from repro.resilience.ingest import ParseReport, QuarantinedLine
+from repro.resilience.memo import AnalysisMemo, trace_digest
 from repro.resilience.retry import (
     AttemptOutcome,
     RetryPolicy,
@@ -84,6 +88,7 @@ from repro.resilience.supervision import (
 )
 
 __all__ = [
+    "AnalysisMemo",
     "AttemptOutcome",
     "CampaignCheckpoint",
     "ChaosConfig",
@@ -128,4 +133,5 @@ __all__ = [
     "graceful_shutdown",
     "parent_wait_budget",
     "run_chaos_campaign",
+    "trace_digest",
 ]

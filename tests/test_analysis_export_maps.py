@@ -8,6 +8,8 @@ import pytest
 from repro.analysis.export import (
     cycles_csv,
     export_dataset,
+    parquet_available,
+    run_rows,
     runs_csv,
     transitions_csv,
 )
@@ -40,9 +42,30 @@ class TestCsvExport:
         for row in _rows(runs_csv(result)):
             if row["loop"] == "1":
                 assert row["subtype"]
+                assert row["loop_kind"]
                 assert int(row["loop_repetitions"]) >= 2
             else:
+                # No-loop runs carry no loop verdict: every verdict
+                # column must be blank, not detector-internal leftovers.
                 assert row["subtype"] == ""
+                assert row["loop_kind"] == ""
+                assert row["loop_period"] == ""
+                assert row["loop_repetitions"] == ""
+
+    def test_no_loop_rows_use_none_not_detector_state(self, result):
+        rows = [row for row in run_rows(result) if not row["loop"]]
+        assert rows, "fixture should include at least one no-loop run"
+        for row in rows:
+            assert row["loop_kind"] is None
+            assert row["subtype"] is None
+            assert row["loop_period"] is None
+            assert row["loop_repetitions"] is None
+
+    def test_unix_line_endings_on_all_tables(self, result):
+        for text in (runs_csv(result), cycles_csv(result),
+                     transitions_csv(result)):
+            assert "\r" not in text
+            assert text.endswith("\n")
 
     def test_cycles_csv_matches_analysis(self, result):
         rows = _rows(cycles_csv(result))
@@ -62,10 +85,28 @@ class TestCsvExport:
 
     def test_export_writes_three_files(self, result, tmp_path):
         paths = export_dataset(result, tmp_path / "dataset")
-        assert set(paths) == {"runs", "cycles", "transitions"}
-        for path in paths.values():
-            assert path.exists()
-            assert path.read_text().startswith(("operator",))
+        expected = {"runs", "cycles", "transitions"}
+        if parquet_available():
+            expected |= {"runs_parquet", "cycles_parquet",
+                         "transitions_parquet"}
+        assert set(paths) == expected
+        for key in ("runs", "cycles", "transitions"):
+            assert paths[key].exists()
+            assert paths[key].read_text().startswith(("operator",))
+
+    @pytest.mark.skipif(not parquet_available(),
+                        reason="pyarrow not installed (soft dependency)")
+    def test_parquet_mirrors_csv_rows(self, result, tmp_path):
+        import pyarrow.parquet as pq
+
+        paths = export_dataset(result, tmp_path / "dataset")
+        table = pq.read_table(paths["runs_parquet"])
+        assert table.num_rows == len(result)
+        csv_rows = _rows(paths["runs"].read_text())
+        for column, csv_field in (("operator", "operator"),
+                                  ("loop", "loop")):
+            assert [str(value) for value in table.column(column).to_pylist()] \
+                == [row[csv_field] for row in csv_rows]
 
     def test_empty_result_exports_headers_only(self, tmp_path):
         paths = export_dataset(CampaignResult(), tmp_path)

@@ -70,8 +70,11 @@ class TestReplay:
     def test_setup_creates_pcell(self):
         records = [RrcSetupCompleteRecord(time_s=1.0, cell=P41)]
         intervals = extract_cellset_sequence(records, end_time_s=10.0)
-        assert intervals[0].cellset.is_idle
+        # The setup happens at the trace's very first timestamp, so no
+        # zero-width IDLE head interval is emitted.
+        assert len(intervals) == 1
         assert intervals[-1].cellset.pcell == P41
+        assert intervals[-1].start_s == 1.0
         assert intervals[-1].end_s == 10.0
 
     def test_scell_addition(self):
@@ -106,7 +109,10 @@ class TestReplay:
                                      scell_release_indices=(7,)),
         ]
         intervals = extract_cellset_sequence(records, end_time_s=10.0)
-        assert len(intervals) == 2  # only IDLE -> connected
+        # The no-op release never splits the connected interval (and the
+        # IDLE head is zero-width at t=1.0, so it is not emitted).
+        assert len(intervals) == 1
+        assert intervals[0].cellset.pcell == P41
 
     def test_mm_deregistered_releases_all(self):
         records = [
@@ -188,12 +194,80 @@ class TestReplay:
             RrcSetupCompleteRecord(time_s=2.0, cell=P41),  # same outcome
         ]
         intervals = extract_cellset_sequence(records, end_time_s=10.0)
-        assert len(intervals) == 2
+        assert len(intervals) == 1
+        assert intervals[0] == CellSetInterval(CellSet(pcell=P41), 1.0, 10.0)
 
     def test_intervals_are_contiguous(self, s1e3_trace):
         intervals = extract_cellset_sequence(s1e3_trace.signaling_records())
         for previous, current in zip(intervals, intervals[1:]):
             assert previous.end_s == pytest.approx(current.start_s)
+
+    # ------------------------------------------------------------------
+    # Zero-width interval regressions: records sharing a timestamp must
+    # never emit zero-duration intervals — the last same-time state wins.
+    # ------------------------------------------------------------------
+
+    def test_same_timestamp_burst_keeps_last_state_only(self):
+        records = [
+            RrcSetupCompleteRecord(time_s=1.0, cell=P41),
+            RrcReleaseRecord(time_s=5.0),
+            RrcSetupCompleteRecord(time_s=5.0, cell=LTE_P),
+        ]
+        intervals = extract_cellset_sequence(records, end_time_s=10.0)
+        assert intervals == [
+            CellSetInterval(CellSet(pcell=P41), 1.0, 5.0),
+            CellSetInterval(CellSet(pcell=LTE_P), 5.0, 10.0),
+        ]
+        assert all(i.end_s > i.start_s for i in intervals)
+
+    def test_same_timestamp_round_trip_merges_back(self):
+        # P41 -> IDLE -> P41 at the same instant: the transient split
+        # must merge back into one P41 interval.
+        records = [
+            RrcSetupCompleteRecord(time_s=1.0, cell=P41),
+            RrcReleaseRecord(time_s=5.0),
+            RrcSetupCompleteRecord(time_s=5.0, cell=P41),
+        ]
+        intervals = extract_cellset_sequence(records, end_time_s=10.0)
+        assert intervals == [CellSetInterval(CellSet(pcell=P41), 1.0, 10.0)]
+
+    def test_zero_width_tail_is_dropped(self):
+        # The trace ends exactly at the last state change: that final
+        # state never had any duration, so it must not appear.
+        records = [
+            RrcSetupCompleteRecord(time_s=1.0, cell=P41),
+            RrcReleaseRecord(time_s=10.0),
+        ]
+        intervals = extract_cellset_sequence(records, end_time_s=10.0)
+        assert intervals == [CellSetInterval(CellSet(pcell=P41), 1.0, 10.0)]
+
+    def test_degenerate_single_instant_trace_keeps_one_interval(self):
+        # Everything at one timestamp: keep the final state as a single
+        # (zero-width) interval rather than returning nothing.
+        records = [
+            RrcSetupCompleteRecord(time_s=3.0, cell=P41),
+            RrcSetupCompleteRecord(time_s=3.0, cell=LTE_P),
+        ]
+        intervals = extract_cellset_sequence(records, end_time_s=3.0)
+        assert intervals == [CellSetInterval(CellSet(pcell=LTE_P), 3.0, 3.0)]
+
+    def test_no_zero_width_intervals_in_mixed_sequence(self):
+        records = [
+            RrcSetupCompleteRecord(time_s=0.0, cell=P41),
+            RrcReleaseRecord(time_s=2.0),
+            MmStateRecord(time_s=2.0, state="DEREGISTERED"),
+            RrcSetupCompleteRecord(time_s=2.0, cell=LTE_P),
+            RrcReleaseRecord(time_s=4.0),
+            RrcSetupCompleteRecord(time_s=6.0, cell=P41),
+        ]
+        intervals = extract_cellset_sequence(records, end_time_s=8.0)
+        assert all(i.end_s > i.start_s for i in intervals)
+        assert intervals == [
+            CellSetInterval(CellSet(pcell=P41), 0.0, 2.0),
+            CellSetInterval(CellSet(pcell=LTE_P), 2.0, 4.0),
+            CellSetInterval(CellSet(), 4.0, 6.0),
+            CellSetInterval(CellSet(pcell=P41), 6.0, 8.0),
+        ]
 
 
 class TestTimeline:

@@ -15,6 +15,8 @@ from repro.core.loops import LoopKind
 from repro.core.pipeline import analyze_trace
 from repro.traces.log import SignalingTrace, TraceMetadata
 from repro.traces.records import (
+    CellMeasurement,
+    MeasurementReportRecord,
     MmStateRecord,
     RrcReconfigurationRecord,
     RrcSetupCompleteRecord,
@@ -70,6 +72,43 @@ class TestAnalyzeTrace:
         analysis = analyze_trace(with_throughput)
         assert analysis.subtype is LoopSubtype.S1E3
 
+    @pytest.mark.parametrize("columnar", [False, True])
+    def test_pre_timeline_reports_count_but_are_not_serving(self, columnar):
+        # A report timestamped before the first interval carries no
+        # known serving set: it must feed observed_cells /
+        # n_rsrp_samples but never serving_nr_rsrp — even if it
+        # measures the cell that becomes the PCell moments later (the
+        # old cursor attributed it to the first interval, inflating
+        # Figure 17).
+        from repro.core.cellset import CellSet, CellSetInterval
+        from repro.core.columnar import IntervalColumns, RecordColumns
+        from repro.core.pipeline import (
+            _collect_measurement_stats,
+            _collect_measurement_stats_columnar,
+        )
+
+        pcell = cell_id(393, 521310)
+        trace = SignalingTrace()
+        trace.append(MeasurementReportRecord(
+            time_s=0.5,
+            measurements=(CellMeasurement(pcell, -80.0, -10.0),)))
+        trace.append(MeasurementReportRecord(
+            time_s=2.0,
+            measurements=(CellMeasurement(pcell, -81.0, -10.0),)))
+        intervals = [CellSetInterval(CellSet(pcell=pcell), 1.0, 60.0)]
+        analysis = analyze_trace(SignalingTrace())
+        analysis.intervals = intervals
+        if columnar:
+            _collect_measurement_stats_columnar(
+                RecordColumns.from_trace(trace),
+                IntervalColumns.from_intervals(intervals), analysis)
+        else:
+            _collect_measurement_stats(trace.signaling_records(), analysis)
+        assert pcell in analysis.observed_cells
+        assert analysis.n_rsrp_samples == 2
+        # Only the in-timeline report (t=2.0) is attributed as serving.
+        assert analysis.serving_nr_rsrp == {521310: [-81.0]}
+
     def test_successful_modification_not_counted_failed(self):
         pcell = cell_id(393, 521310)
         trace = SignalingTrace()
@@ -112,6 +151,9 @@ def _no_loop_analysis(location="P2", area="A1"):
     trace.append(RrcReconfigurationRecord(
         time_s=3.0, pcell=pcell,
         scell_add_mod=(ScellAddMod(1, cell_id(273, 398410)),)))
+    # Let the post-reconfiguration state hold for a while — a state
+    # change at the trace's final timestamp would be zero-width.
+    trace.append(MmStateRecord(time_s=10.0, state="REGISTERED"))
     return analyze_trace(trace)
 
 

@@ -1,0 +1,157 @@
+"""The content-addressed analysis memo: cache semantics + campaign wiring."""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+
+import pytest
+
+from repro.campaign.operators import operator
+from repro.campaign.runner import CampaignConfig, CampaignRunner
+from repro.core.pipeline import analyze_trace
+from repro.obs import instrumented, make_instrumentation
+from repro.resilience.memo import AnalysisMemo, trace_digest
+from repro.traces.log import SignalingTrace, TraceMetadata
+from repro.traces.records import (
+    RrcReleaseRecord,
+    RrcSetupCompleteRecord,
+    ThroughputSampleRecord,
+)
+from tests.conftest import nr_cell
+
+
+def _small_trace(seed: int = 0) -> SignalingTrace:
+    trace = SignalingTrace(metadata=TraceMetadata(
+        operator="MEMO", area="A1", location=f"P{seed}"))
+    trace.append(RrcSetupCompleteRecord(time_s=1.0,
+                                        cell=nr_cell(10 + seed).identity))
+    trace.append(ThroughputSampleRecord(time_s=2.0, mbps=120.5))
+    trace.append(RrcReleaseRecord(time_s=5.0))
+    return trace
+
+
+def _counters(obs) -> dict[str, float]:
+    registry = obs.registry
+    return {name: registry.counter(f"analysis_memo_{name}_total").total()
+            for name in ("hits", "misses", "corrupt")}
+
+
+class TestMemoStore:
+    def test_miss_then_hit_round_trips_the_analysis(self, tmp_path):
+        obs = make_instrumentation()
+        trace = _small_trace()
+        digest = trace_digest(trace.to_jsonl())
+        with instrumented(obs):
+            memo = AnalysisMemo(tmp_path)
+            assert memo.get(digest) is None
+            analysis = analyze_trace(trace)
+            memo.put(digest, analysis)
+            assert memo.get(digest) == analysis
+        assert _counters(obs) == {"hits": 1, "misses": 1, "corrupt": 0}
+
+    def test_different_trace_content_is_a_different_key(self, tmp_path):
+        obs = make_instrumentation()
+        with instrumented(obs):
+            memo = AnalysisMemo(tmp_path)
+            first = _small_trace(seed=0)
+            memo.put(trace_digest(first.to_jsonl()), analyze_trace(first))
+            changed = _small_trace(seed=1)
+            assert memo.get(trace_digest(changed.to_jsonl())) is None
+        assert _counters(obs)["misses"] == 1
+
+    def test_identity_namespaces_do_not_share_entries(self, tmp_path):
+        obs = make_instrumentation()
+        trace = _small_trace()
+        digest = trace_digest(trace.to_jsonl())
+        with instrumented(obs):
+            AnalysisMemo(tmp_path, identity="aaaa").put(
+                digest, analyze_trace(trace))
+            assert AnalysisMemo(tmp_path, identity="bbbb").get(digest) is None
+            assert AnalysisMemo(tmp_path, identity="aaaa").get(digest) \
+                is not None
+
+    @pytest.mark.parametrize("corruption", [
+        b"not the memo magic at all",
+        b"RMEMO1\n" + b"00000000\n" + b"payload with a wrong crc",
+        b"RMEMO1\n" + b"zzzzzzzz\n" + b"unparseable crc field",
+        b"RMEMO1\n",  # truncated before the CRC line
+    ])
+    def test_corrupt_entry_warns_and_recomputes(self, tmp_path, corruption,
+                                                caplog):
+        obs = make_instrumentation()
+        trace = _small_trace()
+        digest = trace_digest(trace.to_jsonl())
+        with instrumented(obs):
+            memo = AnalysisMemo(tmp_path)
+            memo.put(digest, analyze_trace(trace))
+            path = memo.directory / f"{digest}.pkl"
+            path.write_bytes(corruption)
+            with caplog.at_level("WARNING", logger="repro.resilience.memo"):
+                assert memo.get(digest) is None
+            assert "corrupt" in caplog.text
+            assert not path.exists(), "corrupt entry must be evicted"
+            # The caller's recompute-and-put heals the entry.
+            memo.put(digest, analyze_trace(trace))
+            assert memo.get(digest) is not None
+        counters = _counters(obs)
+        assert counters["corrupt"] == 1
+        assert counters["misses"] == 1
+        assert counters["hits"] == 1
+
+    def test_truncated_pickle_is_corruption_not_a_crash(self, tmp_path):
+        obs = make_instrumentation()
+        trace = _small_trace()
+        digest = trace_digest(trace.to_jsonl())
+        payload = pickle.dumps(analyze_trace(trace))[:10]
+        blob = b"RMEMO1\n" + f"{zlib.crc32(payload):08x}\n".encode() + payload
+        with instrumented(obs):
+            memo = AnalysisMemo(tmp_path)
+            (memo.directory / f"{digest}.pkl").write_bytes(blob)
+            assert memo.get(digest) is None
+        assert _counters(obs)["corrupt"] == 1
+
+
+def _campaign(tmp_path, name: str, **overrides):
+    obs = make_instrumentation()
+    settings = dict(
+        duration_s=30, locations_per_area=1, a1_locations=1,
+        runs_per_location=1, a1_runs_per_location=1, seed=11,
+        memo_dir=tmp_path / "memo", checkpoint_path=tmp_path / name)
+    settings.update(overrides)
+    config = CampaignConfig(**settings)
+    result = CampaignRunner([operator("OP_A")], config, obs=obs).run()
+    return result, _counters(obs)
+
+
+class TestCampaignMemo:
+    def test_warm_campaign_hits_and_matches_cold_run(self, tmp_path):
+        cold, cold_counters = _campaign(tmp_path, "cold.ckpt")
+        warm, warm_counters = _campaign(tmp_path, "warm.ckpt")
+        assert cold_counters["hits"] == 0
+        assert cold_counters["misses"] == len(cold.runs)
+        assert warm_counters["hits"] == len(warm.runs)
+        assert warm_counters["misses"] == 0
+        assert [(run.metadata, run.analysis) for run in warm.runs] == \
+            [(run.metadata, run.analysis) for run in cold.runs]
+        # Memoized analyses must round-trip through checkpointing
+        # byte-identically — the CI cache-effectiveness smoke gates on
+        # exactly this equality.
+        assert (tmp_path / "warm.ckpt").read_bytes() == \
+            (tmp_path / "cold.ckpt").read_bytes()
+
+    def test_resume_restores_from_memo_without_reanalysis(self, tmp_path):
+        cold, _ = _campaign(tmp_path, "resume.ckpt")
+        resumed, counters = _campaign(tmp_path, "resume.ckpt", resume=True)
+        assert counters["hits"] == len(resumed.runs)
+        assert counters["misses"] == 0
+        assert [(run.metadata, run.analysis) for run in resumed.runs] == \
+            [(run.metadata, run.analysis) for run in cold.runs]
+
+    def test_different_campaign_identity_does_not_share_cache(self, tmp_path):
+        _campaign(tmp_path, "seed11.ckpt")
+        # duration_s participates in the campaign identity, so this
+        # campaign must not see the first one's entries.
+        _, counters = _campaign(tmp_path, "seed11-d31.ckpt", duration_s=31)
+        assert counters["hits"] == 0
+        assert counters["misses"] > 0
