@@ -245,6 +245,14 @@ class CampaignConfig:
     queue_poll_s: float = 0.05
     queue_stall_s: float = 60.0
     memo_dir: str | Path | None = None
+    #: ``scheduler="broker"``: coordinate through a ``repro broker
+    #: serve`` process at this URL instead of a shared spool directory.
+    #: Execution knobs like the rest — excluded from campaign_identity.
+    broker_url: str | None = None
+    #: Seeded client-side network fault injection (chaos testing): the
+    #: probability each broker request/response is faulted (0 disables).
+    broker_fault_rate: float = 0.0
+    broker_fault_seed: int = 0
 
     def locations_for(self, area_name: str) -> int:
         return self.a1_locations if area_name == "A1" else self.locations_per_area
@@ -515,12 +523,12 @@ class CampaignRunner:
             return result
 
     def _dispatch(self, obs: Instrumentation) -> CampaignResult:
-        if self.config.scheduler == "queue":
+        if self.config.scheduler in ("queue", "broker"):
             return self._run_queue(obs)
         if self.config.scheduler != "pool":
             raise ValueError(
                 f"unknown scheduler {self.config.scheduler!r} "
-                "(expected 'pool' or 'queue')")
+                "(expected 'pool', 'queue' or 'broker')")
         workers = self._effective_workers()
         if workers > 1:
             result = self._run_parallel(obs, workers)
@@ -635,25 +643,54 @@ class CampaignRunner:
         point; so can any worker, whose outstanding leases expire and
         get stolen by the survivors.
         """
-        if self.config.queue_dir is None:
+        backend = self.config.scheduler
+        if backend == "queue" and self.config.queue_dir is None:
             raise ValueError("scheduler='queue' requires queue_dir")
+        if backend == "broker" and self.config.broker_url is None:
+            raise ValueError("scheduler='broker' requires broker_url")
         if self.run_fn is not None or self.sleep is not None:
             raise ValueError(
-                "scheduler='queue' cannot ship custom run_fn/sleep hooks "
-                "to independent worker processes; use the pool scheduler")
+                f"scheduler={backend!r} cannot ship custom run_fn/sleep "
+                "hooks to independent worker processes; use the pool "
+                "scheduler")
         breaker = self.config.breaker()
         policy = self.config.retry_policy()
-        queue = DurableTaskQueue(self.config.queue_dir,
-                                 identity=self.campaign_identity(),
-                                 payload_mode="ref",
-                                 fsync=self.config.checkpoint_fsync,
-                                 default_lease_s=self.config.lease_timeout_s)
-        scheduler = QueueScheduler(queue, breaker,
-                                   poll_s=self.config.queue_poll_s,
-                                   stall_s=self.config.queue_stall_s)
+        if backend == "broker":
+            scheduler = self._broker_scheduler(breaker)
+        else:
+            queue = DurableTaskQueue(
+                self.config.queue_dir,
+                identity=self.campaign_identity(),
+                payload_mode="ref",
+                fsync=self.config.checkpoint_fsync,
+                default_lease_s=self.config.lease_timeout_s)
+            scheduler = QueueScheduler(queue, breaker,
+                                       poll_s=self.config.queue_poll_s,
+                                       stall_s=self.config.queue_stall_s)
         scheduler.start()  # may raise CheckpointMismatchError
         return self._run_scheduled(obs, scheduler, breaker, policy,
                                    workers=self.config.workers or 1)
+
+    def _broker_scheduler(self, breaker: CircuitBreaker):
+        """The cross-host coordinator: a BrokerClient mirror behind the
+        same scheduler contract (lazy imports — pool/queue campaigns
+        never load the broker stack)."""
+        from repro.campaign.broker_client import BrokerClient, HTTPTransport
+        from repro.campaign.scheduler import BrokerScheduler
+
+        send = HTTPTransport(self.config.broker_url)
+        if self.config.broker_fault_rate > 0.0:
+            from repro.resilience.netfaults import NetworkFaultInjector
+            send = NetworkFaultInjector(
+                send, seed=self.config.broker_fault_seed,
+                rate=self.config.broker_fault_rate)
+        client = BrokerClient(self.config.broker_url, role="coordinator",
+                              identity=self.campaign_identity(),
+                              default_lease_s=self.config.lease_timeout_s,
+                              send=send)
+        return BrokerScheduler(client, breaker,
+                               poll_s=self.config.queue_poll_s,
+                               stall_s=self.config.queue_stall_s)
 
     def _run_scheduled(self, obs: Instrumentation, scheduler: Scheduler,
                        breaker: CircuitBreaker, policy: RetryPolicy,

@@ -66,9 +66,10 @@ from repro.resilience.supervision import (
     RunTimeoutError,
     WorkerCrashError,
 )
-from repro.resilience.taskqueue import Claim, DurableTaskQueue
+from repro.resilience.taskqueue import Claim, QueueTransport
 
 __all__ = [
+    "BrokerScheduler",
     "DrainResult",
     "PendingRun",
     "PoolScheduler",
@@ -345,7 +346,7 @@ class QueueScheduler(Scheduler):
     them (everything else merges in schedule order and matches).
     """
 
-    def __init__(self, queue: DurableTaskQueue, breaker: CircuitBreaker,
+    def __init__(self, queue: QueueTransport, breaker: CircuitBreaker,
                  poll_s: float = 0.05, stall_s: float = 60.0,
                  sleep: Callable[[float], None] = time.sleep):
         self.queue = queue
@@ -353,6 +354,10 @@ class QueueScheduler(Scheduler):
         self.poll_s = max(0.001, poll_s)
         self.stall_s = stall_s
         self.sleep = sleep
+        #: The stall diagnostic's "how to unwedge this" hint; the broker
+        #: scheduler overrides it with its --broker form.
+        self.worker_hint = f"repro worker --queue-dir " \
+                           f"{getattr(queue, 'root', '?')}"
         self._last_activity = queue.clock()
 
     def start(self) -> bool:
@@ -466,5 +471,89 @@ class QueueScheduler(Scheduler):
             f"task queue stalled: no queue activity for {idle:.0f}s, no "
             f"live workers, {self.queue.state.depth()} task(s) outstanding "
             f"(head: {'/'.join(str(p) for p in item.scheduled.key)}); "
-            f"start `repro worker --queue-dir {self.queue.root}` processes "
+            f"start `{self.worker_hint}` processes "
             "or resume later — the spool is durable")
+
+
+# ----------------------------------------------------------------------
+# Cross-host broker backend (coordinator side)
+# ----------------------------------------------------------------------
+
+
+class BrokerScheduler(QueueScheduler):
+    """:class:`QueueScheduler` over a network
+    :class:`~repro.campaign.broker_client.BrokerClient` instead of a
+    local spool.
+
+    The pump/merge/stall machinery is inherited unchanged — the client
+    implements the same :class:`~repro.resilience.taskqueue.QueueTransport`
+    verbs and mirrors the broker's spool through the same
+    :class:`~repro.resilience.taskqueue.LeaseState`.  What this subclass
+    adds is *graceful degradation*: when the client's per-verb retry
+    budget is exhausted (:class:`BrokerUnavailableError` — the broker
+    stayed unreachable through backoff), the coordinator trips the
+    circuit breaker with the client's diagnostic instead of crashing
+    with a raw network traceback, which routes into the standard
+    flush-checkpoint-print-resume-hint path.  Campaign state is durable
+    on the broker, so resuming against the same broker URL continues
+    where the outage struck.
+    """
+
+    def __init__(self, client, breaker: CircuitBreaker,
+                 poll_s: float = 0.05, stall_s: float = 60.0,
+                 sleep: Callable[[float], None] = time.sleep):
+        super().__init__(client, breaker, poll_s=poll_s, stall_s=stall_s,
+                         sleep=sleep)
+        self.worker_hint = f"repro worker --broker {client.base_url}"
+
+    def _trip_unavailable(self, error: Exception) -> None:
+        get_instrumentation().events.emit(
+            "broker.unavailable", severity="error", error=str(error))
+        self.breaker.trip(str(error))  # raises CircuitBreakerOpen
+
+    def start(self) -> bool:
+        try:
+            return super().start()
+        except _broker_unavailable() as error:
+            self._trip_unavailable(error)
+            raise  # pragma: no cover - trip always raises
+
+    def submit(self, item: PendingRun) -> None:
+        try:
+            super().submit(item)
+        except _broker_unavailable() as error:
+            self._trip_unavailable(error)
+
+    def seal(self) -> None:
+        try:
+            super().seal()
+        except _broker_unavailable() as error:
+            self._trip_unavailable(error)
+
+    def drain(self, item: PendingRun) -> DrainResult:
+        try:
+            return super().drain(item)
+        except _broker_unavailable() as error:
+            self._trip_unavailable(error)
+            raise  # pragma: no cover - trip always raises
+
+    def poll(self, item: PendingRun, timeout_s: float) -> Any:
+        try:
+            return super().poll(item, timeout_s)
+        except _broker_unavailable() as error:
+            self._trip_unavailable(error)
+            raise  # pragma: no cover - trip always raises
+
+    def shutdown(self) -> None:
+        try:
+            super().shutdown()
+        except _broker_unavailable():
+            pass  # the campaign is already merged; losing the final
+            #       gauge refresh to an outage is not an error
+
+
+def _broker_unavailable() -> type[Exception]:
+    """Late import: the scheduler must stay importable without the
+    broker stack (the pool path never touches it)."""
+    from repro.campaign.broker_client import BrokerUnavailableError
+    return BrokerUnavailableError

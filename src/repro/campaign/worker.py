@@ -58,6 +58,9 @@ def _default_worker_id() -> str:
 class WorkerConfig:
     """One worker process's knobs.
 
+    Exactly one of ``queue_dir`` (same-host spool) and ``broker_url``
+    (cross-host ``repro broker serve``) selects the transport.
+
     ``lease_s`` must match the coordinator's ``lease_timeout_s`` scale:
     the worker heartbeats every ``lease_s / 3``, so a lease only
     expires when the worker is genuinely dead or wedged for most of a
@@ -65,10 +68,16 @@ class WorkerConfig:
     waits for the coordinator to create the spool before giving up
     (workers are routinely started first).  ``fail_after`` is the
     deterministic self-SIGKILL fault injection described in the module
-    docstring (``None`` disables).
+    docstring (``None`` disables).  ``broker_fault_rate`` /
+    ``broker_fault_seed`` wrap the broker transport in the seeded
+    network fault injector (chaos testing; 0.0 disables).
+    ``telemetry_dir`` overrides where the durable telemetry spool
+    lives — broker-mode workers have no shared queue directory, so
+    without it their telemetry stays in-process only.
     """
 
-    queue_dir: str | Path = "queue"
+    queue_dir: str | Path | None = "queue"
+    broker_url: str | None = None
     worker_id: str = field(default_factory=_default_worker_id)
     #: ``None`` inherits the lease the coordinator advertised in the
     #: spool header (``--lease-timeout``), falling back to 30s.
@@ -76,6 +85,9 @@ class WorkerConfig:
     poll_s: float = 0.05
     attach_timeout_s: float = 60.0
     fail_after: int | None = None
+    broker_fault_rate: float = 0.0
+    broker_fault_seed: int = 0
+    telemetry_dir: str | Path | None = None
 
 
 class QueueWorker:
@@ -94,36 +106,87 @@ class QueueWorker:
 
     def __init__(self, config: WorkerConfig,
                  obs: Instrumentation | None = None):
+        if (config.queue_dir is None) == (config.broker_url is None):
+            raise ValueError(
+                "exactly one of queue_dir and broker_url must be set")
         self.config = config
-        self.queue = DurableTaskQueue(config.queue_dir, payload_mode="drop")
+        self.queue = self._build_transport(config)
         self.lease_s = config.lease_s or 30.0
         self.claims = 0
         self.completed = 0
         self.fenced = 0
         self.obs = obs if obs is not None else make_instrumentation()
-        self.spool = TelemetrySpool(
-            Path(config.queue_dir) / TELEMETRY_DIRNAME, config.worker_id)
+        telemetry_dir = config.telemetry_dir
+        if telemetry_dir is None and config.queue_dir is not None:
+            telemetry_dir = Path(config.queue_dir) / TELEMETRY_DIRNAME
+        self.spool = (TelemetrySpool(telemetry_dir, config.worker_id)
+                      if telemetry_dir is not None else None)
         self._spool_lock = threading.Lock()
 
+    @staticmethod
+    def _build_transport(config: WorkerConfig):
+        """The spool- or broker-backed queue transport for this worker."""
+        if config.broker_url is None:
+            return DurableTaskQueue(config.queue_dir, payload_mode="drop")
+        from repro.campaign.broker_client import BrokerClient, HTTPTransport
+        send = HTTPTransport(config.broker_url)
+        if config.broker_fault_rate > 0.0:
+            from repro.resilience.netfaults import NetworkFaultInjector
+            send = NetworkFaultInjector(send,
+                                        seed=config.broker_fault_seed,
+                                        rate=config.broker_fault_rate)
+        return BrokerClient(config.broker_url, role="worker",
+                            worker_id=config.worker_id, send=send)
+
+    @property
+    def _target(self) -> str:
+        """Where this worker drains from, for logs and events."""
+        return str(self.config.broker_url or self.config.queue_dir)
+
     def run(self) -> int:
-        """Drain until the queue is sealed and empty; returns exit code."""
-        if not self._attach():
-            logger.error("worker %s: no task-queue spool appeared at %s "
+        """Drain until the queue is sealed and empty; returns exit code.
+
+        Exit 75 (EX_TEMPFAIL) means the broker stayed unreachable
+        through the client's whole retry budget: the outstanding lease
+        (if any) expires broker-side and is stolen, completed work is
+        durable, and restarting this worker against the same broker
+        resumes cleanly.
+        """
+        try:
+            attached = self._attach()
+        except _broker_unavailable() as error:
+            return self._report_unavailable(error)
+        if not attached:
+            logger.error("worker %s: no task queue appeared at %s "
                          "within %.0fs", self.config.worker_id,
-                         self.config.queue_dir,
-                         self.config.attach_timeout_s)
+                         self._target, self.config.attach_timeout_s)
             return 1
         if self.config.lease_s is None \
                 and self.queue.state.default_lease_s is not None:
             self.lease_s = self.queue.state.default_lease_s
         self.obs.events.bind(worker=self.config.worker_id,
                              campaign=self.queue.state.identity)
-        self.spool.campaign = self.queue.state.identity
-        self.obs.events.emit("worker.attach", queue=str(self.config.queue_dir),
+        if self.spool is not None:
+            self.spool.campaign = self.queue.state.identity
+        self.obs.events.emit("worker.attach", queue=self._target,
                              pid=os.getpid(), lease_s=self.lease_s)
         self._flush_telemetry()
         with instrumented(self.obs):
-            return self._drain()
+            try:
+                return self._drain()
+            except _broker_unavailable() as error:
+                return self._report_unavailable(error)
+
+    def _report_unavailable(self, error: Exception) -> int:
+        """Broker gone for good (this incarnation): resumable exit 75."""
+        self.obs.events.emit("worker.broker_unavailable", severity="error",
+                             error=str(error))
+        self._flush_telemetry()
+        logger.error(
+            "worker %s: %s; any outstanding lease will expire and be "
+            "stolen — restart this worker to resume draining",
+            self.config.worker_id, error)
+        return 75  # EX_TEMPFAIL: transient by contract, retry the process
 
     def _drain(self) -> int:
         while True:
@@ -224,6 +287,8 @@ class QueueWorker:
         Telemetry failures never fail the campaign: a worker with a
         full disk keeps draining, it just stops being observable.
         """
+        if self.spool is None:
+            return
         try:
             with self._spool_lock:
                 self.spool.flush(self.obs)
@@ -240,6 +305,16 @@ class QueueWorker:
                     run_key=claim.key, token=claim.token)
                 if not self.queue.heartbeat(claim, self.lease_s):
                     return  # fenced: the run was stolen, stop renewing
+            except _broker_unavailable():
+                # The main loop will hit the same latched error at its
+                # next verb and exit resumably; stop renewing here.
+                return
             except OSError:  # pragma: no cover - transient spool I/O
                 continue
             self._flush_telemetry()
+
+
+def _broker_unavailable() -> type[Exception]:
+    """Late import: same-host workers never load the broker stack."""
+    from repro.campaign.broker_client import BrokerUnavailableError
+    return BrokerUnavailableError

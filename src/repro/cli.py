@@ -44,7 +44,23 @@ Five subcommands mirror the reproduction's main workflows::
         --queue-dir QDIR``; kill any of them at any time — expired
         leases are stolen by the survivors without double-completion.
         Every worker flushes its events/spans/metrics to a durable
-        telemetry spool under ``QDIR/telemetry/``.
+        telemetry spool under ``QDIR/telemetry/``.  With ``--broker
+        URL`` instead of ``--queue-dir`` the worker drains a remote
+        ``repro broker serve`` over HTTP — no shared filesystem; exit
+        75 (EX_TEMPFAIL) means the broker stayed unreachable and the
+        worker should simply be restarted.
+
+    python -m repro broker serve --queue-dir QDIR [--port N]
+        Own a campaign queue directory and serve the task-queue verbs
+        (submit/seal/claim/heartbeat/complete/status) over HTTP with a
+        broker-authoritative lease clock, plus a content-addressed
+        artifact plane for task/outcome payloads.  Point the
+        coordinator (``repro campaign --broker URL``) and any number of
+        cross-host workers (``repro worker --broker URL``) at it.  The
+        bound URL is printed on stdout (``--port 0`` picks a free
+        port); SIGTERM drains gracefully — mutating verbs get 503
+        while in-flight state is already fsynced — and a restarted
+        broker on the same queue directory resumes the campaign.
 
     python -m repro status QDIR [--json|--watch [SECONDS]|--serve PORT]
         Live view of a queue campaign's telemetry plane: worker
@@ -144,15 +160,22 @@ def _add_campaign_parser(subparsers) -> None:
                         metavar="N",
                         help="consecutive run failures before the campaign "
                              "fails fast (default 0 = disabled)")
-    parser.add_argument("--scheduler", choices=("pool", "queue"),
+    parser.add_argument("--scheduler", choices=("pool", "queue", "broker"),
                         default="pool",
                         help="execution backend: 'pool' = in-host worker "
                              "processes (--workers), 'queue' = durable "
                              "on-disk task queue drained by independent "
-                             "`repro worker` processes (default pool)")
+                             "`repro worker` processes, 'broker' = the "
+                             "same queue served over HTTP by `repro "
+                             "broker serve` (default pool)")
     parser.add_argument("--queue-dir", default=None, metavar="DIR",
                         help="task-queue spool directory "
                              "(required with --scheduler queue)")
+    parser.add_argument("--broker", default=None, metavar="URL",
+                        help="campaign broker URL (e.g. "
+                             "http://127.0.0.1:8737); implies "
+                             "--scheduler broker")
+    _add_broker_fault_flags(parser)
     parser.add_argument("--lease-timeout", type=float, default=30.0,
                         metavar="SECONDS",
                         help="work-claim lease duration; a worker silent "
@@ -172,13 +195,35 @@ def _add_campaign_parser(subparsers) -> None:
     _add_observability_flags(parser)
 
 
+def _add_broker_fault_flags(parser) -> None:
+    parser.add_argument("--broker-fault-rate", type=float, default=0.0,
+                        metavar="RATE",
+                        help="chaos testing: probability each broker "
+                             "request/response is dropped, duplicated, "
+                             "delayed, 503'd or mangled client-side "
+                             "(seeded; default 0 = off)")
+    parser.add_argument("--broker-fault-seed", type=int, default=0,
+                        metavar="SEED",
+                        help="seed for --broker-fault-rate (default 0)")
+
+
 def _add_worker_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "worker", help="drain a durable campaign task queue "
-                       "(start N of these against --scheduler queue)")
-    parser.add_argument("--queue-dir", required=True, metavar="DIR",
+                       "(start N of these against --scheduler queue "
+                       "or a `repro broker serve` URL)")
+    parser.add_argument("--queue-dir", default=None, metavar="DIR",
                         help="task-queue spool directory shared with the "
-                             "campaign coordinator")
+                             "campaign coordinator (same-host mode; "
+                             "exactly one of --queue-dir/--broker)")
+    parser.add_argument("--broker", default=None, metavar="URL",
+                        help="campaign broker URL to drain over HTTP "
+                             "(cross-host mode)")
+    parser.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                        help="durable telemetry spool directory (broker "
+                             "mode has no shared queue dir; default: "
+                             "<queue-dir>/telemetry, or none)")
+    _add_broker_fault_flags(parser)
     parser.add_argument("--worker-id", default=None,
                         help="stable worker identity "
                              "(default: <hostname>-<pid>)")
@@ -198,6 +243,38 @@ def _add_worker_parser(subparsers) -> None:
                         help="fault injection: SIGKILL this worker right "
                              "after its N-th claim (steal/chaos testing)")
     _add_log_flags(parser)
+
+
+def _add_broker_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "broker", help="campaign broker: serve a task queue over HTTP")
+    actions = parser.add_subparsers(dest="broker_command", required=True)
+    serve = actions.add_parser(
+        "serve", help="own a queue directory and serve the queue verbs "
+                      "+ artifact plane over HTTP")
+    serve.add_argument("--queue-dir", required=True, metavar="DIR",
+                       help="queue directory this broker owns (spool + "
+                            "artifacts); restarting against the same "
+                            "directory resumes the campaign")
+    serve.add_argument("--port", type=int, default=0, metavar="PORT",
+                       help="TCP port to bind (default 0 = pick a free "
+                            "one; the bound URL is printed on stdout)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--request-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="per-request socket timeout; a stalled "
+                            "client can never wedge the broker "
+                            "(default 30)")
+    serve.add_argument("--drain-grace", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="on SIGTERM/SIGINT, keep answering 503 to "
+                            "mutating verbs for this long before "
+                            "stopping (default 1)")
+    serve.add_argument("--no-fsync", action="store_true",
+                       help="skip the per-append fsync on the spool "
+                            "(faster, weaker durability)")
+    _add_log_flags(serve)
 
 
 def _add_status_parser(subparsers) -> None:
@@ -362,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_faults_parser(subparsers)
     _add_profile_parser(subparsers)
     _add_worker_parser(subparsers)
+    _add_broker_parser(subparsers)
     _add_status_parser(subparsers)
     return parser
 
@@ -435,6 +513,17 @@ def _final_progress_snapshot(obs: Instrumentation) -> None:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     names = args.operators or sorted(OPERATORS)
     profiles = [operator(name) for name in names]
+    scheduler = args.scheduler
+    if args.broker and scheduler == "pool":
+        scheduler = "broker"  # --broker URL implies the broker backend
+    if scheduler == "broker" and not args.broker:
+        print("error: --scheduler broker requires --broker URL",
+              file=sys.stderr)
+        return 2
+    if scheduler == "queue" and not args.queue_dir:
+        print("error: --scheduler queue requires --queue-dir",
+              file=sys.stderr)
+        return 2
     config = CampaignConfig(
         device_name=args.device,
         duration_s=args.duration,
@@ -452,16 +541,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         checkpoint_fsync=not args.no_fsync,
         breaker_max_rebuilds=args.breaker_rebuilds,
         breaker_max_consecutive_failures=args.breaker_failures,
-        scheduler=args.scheduler,
+        scheduler=scheduler,
         queue_dir=args.queue_dir,
         lease_timeout_s=args.lease_timeout,
         queue_stall_s=args.queue_stall,
         memo_dir=args.memo_dir,
+        broker_url=args.broker,
+        broker_fault_rate=args.broker_fault_rate,
+        broker_fault_seed=args.broker_fault_seed,
     )
-    if args.scheduler == "queue" and not args.queue_dir:
-        print("error: --scheduler queue requires --queue-dir",
-              file=sys.stderr)
-        return 2
     obs = _build_instrumentation(args)
     try:
         with graceful_shutdown():
@@ -600,9 +688,17 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.campaign.worker import QueueWorker, WorkerConfig
 
-    kwargs = {"queue_dir": args.queue_dir, "lease_s": args.lease,
+    if (args.queue_dir is None) == (args.broker is None):
+        print("error: exactly one of --queue-dir and --broker is required",
+              file=sys.stderr)
+        return 2
+    kwargs = {"queue_dir": args.queue_dir, "broker_url": args.broker,
+              "lease_s": args.lease,
               "poll_s": args.poll, "attach_timeout_s": args.attach_timeout,
-              "fail_after": args.fail_after}
+              "fail_after": args.fail_after,
+              "broker_fault_rate": args.broker_fault_rate,
+              "broker_fault_seed": args.broker_fault_seed,
+              "telemetry_dir": args.telemetry_dir}
     if args.worker_id:
         kwargs["worker_id"] = args.worker_id
     obs = make_instrumentation()
@@ -618,6 +714,48 @@ def _cmd_worker(args: argparse.Namespace) -> int:
               f"({worker.completed} completed)", file=sys.stderr)
         return 128 + stop.signum if isinstance(stop, ShutdownRequested) \
             else 130
+
+
+def _cmd_broker(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.campaign.broker import CampaignBroker, serve_broker
+
+    obs = make_instrumentation()
+    _attach_event_stream(obs, args)
+    broker = CampaignBroker(args.queue_dir, fsync=not args.no_fsync,
+                            obs=obs)
+    server = serve_broker(broker, args.port, host=args.host,
+                          request_timeout_s=args.request_timeout)
+    host, port = server.server_address[:2]
+    # The URL goes to stdout so scripts (CI smoke) can capture it; the
+    # human-facing chatter stays on stderr.
+    print(f"http://{host}:{port}", flush=True)
+    print(f"broker serving http://{host}:{port} "
+          f"(queue {args.queue_dir}; Ctrl-C / SIGTERM drains and stops)",
+          file=sys.stderr)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        with graceful_shutdown():
+            while thread.is_alive():
+                time.sleep(0.2)
+        return 0
+    except (KeyboardInterrupt, ShutdownRequested) as stop:
+        # Graceful drain: mutating verbs get a retryable 503 for the
+        # grace window (clients back off across the restart), then the
+        # server stops.  The spool is fsynced per append, so there is
+        # nothing else to flush — the queue directory IS the state.
+        broker.begin_drain()
+        time.sleep(max(0.0, args.drain_grace))
+        print(f"broker drained and stopped; campaign state is durable "
+              f"at {args.queue_dir} — restart `repro broker serve "
+              f"--queue-dir {args.queue_dir}` to resume", file=sys.stderr)
+        return 128 + stop.signum if isinstance(stop, ShutdownRequested) \
+            else 130
+    finally:
+        server.shutdown()
+        server.server_close()
 
 
 def _render_status_once(aggregator, args: argparse.Namespace) -> str:
@@ -681,6 +819,7 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "profile": _cmd_profile,
     "worker": _cmd_worker,
+    "broker": _cmd_broker,
     "status": _cmd_status,
 }
 

@@ -380,8 +380,23 @@ def render_status(view: CampaignView) -> str:
 # ----------------------------------------------------------------------
 
 
+class _StatusHTTPServer(ThreadingHTTPServer):
+    """Hardened threading server for ``repro status --serve``.
+
+    ``daemon_threads`` keeps a stalled handler thread from wedging
+    ``server_close()`` (``ThreadingHTTPServer`` joins non-daemon
+    handler threads on close, so one client that connects and then
+    goes silent would otherwise hang Ctrl-C forever); the per-request
+    socket ``timeout`` on the handler class bounds how long that silent
+    client can hold its thread at all.
+    """
+
+    daemon_threads = True
+
+
 def serve_status(aggregator: CampaignAggregator, port: int,
-                 host: str = "127.0.0.1") -> ThreadingHTTPServer:
+                 host: str = "127.0.0.1",
+                 request_timeout_s: float = 30.0) -> ThreadingHTTPServer:
     """An OpenMetrics/JSON status server over ``aggregator``.
 
     ``GET /metrics`` refreshes and returns the Prometheus text
@@ -391,6 +406,8 @@ def serve_status(aggregator: CampaignAggregator, port: int,
     """
 
     class _StatusHandler(BaseHTTPRequestHandler):
+        timeout = request_timeout_s  # stalled sockets release the thread
+
         def do_GET(self) -> None:  # noqa: N802 - stdlib interface
             path = self.path.split("?", 1)[0].rstrip("/") or "/"
             opened = aggregator.refresh()
@@ -415,4 +432,4 @@ def serve_status(aggregator: CampaignAggregator, port: int,
         def log_message(self, format: str, *args: object) -> None:
             pass  # scrapes must not spam the campaign's stderr
 
-    return ThreadingHTTPServer((host, port), _StatusHandler)
+    return _StatusHTTPServer((host, port), _StatusHandler)

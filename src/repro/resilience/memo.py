@@ -37,11 +37,16 @@ from repro.obs import get_instrumentation
 
 logger = logging.getLogger(__name__)
 
-__all__ = ["AnalysisMemo", "trace_digest"]
+__all__ = ["AnalysisMemo", "ArtifactStore", "sha256_digest", "trace_digest"]
 
 #: Entry header: magic + newline, then 8 hex CRC chars + newline.
 _MAGIC = b"RMEMO1\n"
 _CRC_LEN = 9  # 8 hex digits + "\n"
+
+
+def sha256_digest(data: bytes) -> str:
+    """Content address of an arbitrary blob: its SHA-256 hex digest."""
+    return hashlib.sha256(data).hexdigest()
 
 
 def trace_digest(trace_jsonl: str) -> str:
@@ -125,6 +130,75 @@ class AnalysisMemo:
                 temp.unlink(missing_ok=True)
             except OSError:  # pragma: no cover - best-effort cleanup
                 pass
+
+
+class ArtifactStore:
+    """A directory of content-addressed raw blobs, keyed by SHA-256.
+
+    The campaign broker's artifact plane: workers ``PUT`` completion
+    payloads and ``GET`` task payloads by digest instead of shipping
+    them inline through the event spool.  Same durability discipline as
+    the memo cache — atomic temp-file + ``os.replace`` writes, and
+    every read is re-verified against its own digest (a blob that does
+    not hash to its name is treated as absent and unlinked), so a
+    half-written or bit-rotted artifact can never be served.
+
+    Layout: ``<directory>/<digest[:2]>/<digest>`` (fan-out keeps any
+    one directory small at campaign scale).
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, digest: str) -> Path:
+        return self.directory / digest[:2] / digest
+
+    def has(self, digest: str) -> bool:
+        return self._path(digest).exists()
+
+    def get(self, digest: str) -> bytes | None:
+        """The blob for ``digest``, or ``None`` (absent or corrupt)."""
+        path = self._path(digest)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        if sha256_digest(data) != digest:
+            logger.warning("artifact %s does not hash to its name; "
+                           "discarding the corrupt blob", path)
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+            return None
+        return data
+
+    def put(self, data: bytes, digest: str | None = None) -> str:
+        """Store ``data`` under its digest; idempotent, returns the digest.
+
+        When the caller supplies the ``digest`` it expects (the broker
+        verifying an upload), a mismatch raises ``ValueError`` — the
+        blob was mangled in flight and must not be stored.
+        """
+        actual = sha256_digest(data)
+        if digest is not None and digest != actual:
+            raise ValueError(
+                f"artifact digest mismatch: body hashes to {actual}, "
+                f"caller claimed {digest}")
+        path = self._path(actual)
+        if path.exists():
+            return actual
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        temp.write_bytes(data)
+        os.replace(temp, path)
+        return actual
+
+    def count(self) -> int:
+        """How many blobs the store currently holds."""
+        return sum(1 for child in self.directory.glob("??/*")
+                   if child.is_file() and ".tmp" not in child.name)
 
 
 def _decode(blob: bytes):

@@ -34,6 +34,12 @@ class RetryPolicy:
     ``backoff_base_s * backoff_factor**n``, scaled by a deterministic
     jitter in ``[1, 1 + jitter]`` derived from ``(seed, key, n)``.
     ``max_retries == 0`` means one attempt, no retries.
+
+    ``backoff_max_s`` caps the post-jitter delay: ``backoff_factor**n``
+    grows without bound, so long network-retry loops (the broker
+    client's per-verb retries) would otherwise sleep for minutes on the
+    tail attempts.  The default ``None`` preserves the exact schedules
+    existing policies produce for their configured ``max_retries``.
     """
 
     max_retries: int = 0
@@ -41,18 +47,24 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     jitter: float = 0.25
     seed: int = 0
+    backoff_max_s: float | None = None
 
     def __post_init__(self):
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if self.backoff_base_s < 0:
             raise ValueError("backoff_base_s must be >= 0")
+        if self.backoff_max_s is not None and self.backoff_max_s < 0:
+            raise ValueError("backoff_max_s must be >= 0 (or None)")
 
     def backoff_s(self, key: tuple, retry_index: int) -> float:
         """Deterministic backoff before retry ``retry_index`` of ``key``."""
         base = self.backoff_base_s * self.backoff_factor ** retry_index
         unit = _mix(self.seed, *key, retry_index) / 0xFFFFFFFF
-        return base * (1.0 + self.jitter * unit)
+        delay = base * (1.0 + self.jitter * unit)
+        if self.backoff_max_s is not None:
+            delay = min(delay, self.backoff_max_s)
+        return delay
 
     def schedule(self, key: tuple) -> list[float]:
         """The full backoff schedule this policy would use for ``key``."""

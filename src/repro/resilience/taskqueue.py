@@ -91,9 +91,11 @@ __all__ = [
     "DurableTaskQueue",
     "LeaseState",
     "QueueStats",
+    "QueueTransport",
     "TaskRecord",
     "TaskQueueError",
     "WorkerHeartbeat",
+    "enrich_disposition",
 ]
 
 #: The spool format this writer produces (shares the checkpoint lineage).
@@ -302,6 +304,92 @@ class LeaseState:
         return "complete"
 
 
+def enrich_disposition(state: LeaseState, event: dict,
+                       disposition: str) -> tuple[str, int, str]:
+    """One ``(disposition, seq, worker)`` tuple for observers.
+
+    ``expire`` and ``steal`` name the *previous* lease holder (the
+    worker whose lease was lost), not the event's own ``worker`` field;
+    this is the attribution both the on-disk replay and the broker
+    client's network mirror must agree on, so it lives here once.
+    """
+    worker = str(event.get("worker") or "")
+    if disposition in ("expire", "steal"):
+        task = state.tasks.get(int(event.get("seq", -1)))
+        if task is not None:
+            worker = (task.requeued_from if disposition == "expire"
+                      else task.worker) or ""
+        else:
+            worker = ""
+    return disposition, int(event.get("seq", -1)), worker
+
+
+# ----------------------------------------------------------------------
+# Pluggable transport contract
+# ----------------------------------------------------------------------
+
+
+class QueueTransport:
+    """The verb surface a campaign task-queue transport must provide.
+
+    Two implementations exist: :class:`DurableTaskQueue` (same-host —
+    every process appends to and replays one flock-serialized spool)
+    and :class:`~repro.campaign.broker_client.BrokerClient` (cross-host
+    — the verbs travel over HTTP to a ``repro broker serve`` process
+    that owns the spool and is the *single authoritative clock* for
+    lease deadlines).  :class:`~repro.campaign.scheduler.QueueScheduler`
+    and :class:`~repro.campaign.worker.QueueWorker` are written against
+    this surface only, which is what makes the backend pluggable.
+
+    Coordinator verbs: ``open(create=True)``, ``submit``, ``close``,
+    ``take_completion``, ``expire_overdue``, ``drain_dispositions``,
+    ``live_workers``.  Worker verbs: ``open()``, ``claim``,
+    ``heartbeat``, ``complete``, ``write_worker_heartbeat``.  Both
+    sides read ``state`` (a replayed :class:`LeaseState`, or a mirror
+    of the broker's) and ``clock`` (local monotonic time — only ever
+    compared against itself; cross-host deadline arithmetic is the
+    broker's job).
+    """
+
+    state: LeaseState
+    clock: Callable[[], float]
+
+    def open(self, create: bool = False) -> bool:
+        raise NotImplementedError
+
+    def submit(self, key: tuple, payload: str) -> int:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def take_completion(self, seq: int) -> str | None:
+        raise NotImplementedError
+
+    def expire_overdue(self) -> list[tuple[int, str]]:
+        raise NotImplementedError
+
+    def drain_dispositions(self) -> list[tuple[str, int, str]]:
+        raise NotImplementedError
+
+    def claim(self, worker: str, lease_s: float) -> "Claim | None":
+        raise NotImplementedError
+
+    def heartbeat(self, claim: "Claim", lease_s: float) -> bool:
+        raise NotImplementedError
+
+    def complete(self, claim: "Claim", payload: str) -> bool:
+        raise NotImplementedError
+
+    def write_worker_heartbeat(self, worker: str, ttl_s: float,
+                               run_key: tuple | None = None,
+                               token: int | None = None) -> None:
+        raise NotImplementedError
+
+    def live_workers(self) -> list[str]:
+        raise NotImplementedError
+
+
 # ----------------------------------------------------------------------
 # Disk-backed queue
 # ----------------------------------------------------------------------
@@ -419,7 +507,7 @@ class _FlockHandle:
         self.path.with_suffix(".spin").unlink(missing_ok=True)
 
 
-class DurableTaskQueue:
+class DurableTaskQueue(QueueTransport):
     """The disk-backed queue: event-log append + incremental replay.
 
     One instance per process; the coordinator opens it with the
@@ -507,9 +595,22 @@ class DurableTaskQueue:
         is safe.
         """
         with self._mutex:
-            self.catch_up()
             seq = self._next_seq
             self._next_seq += 1
+            return self.submit_at(seq, key, payload)
+
+    def submit_at(self, seq: int, key: tuple, payload: str) -> int:
+        """Durably enqueue one task at an explicit ``seq``.
+
+        The broker path: a restarted broker does not re-enumerate the
+        schedule the way a restarted coordinator does, so it assigns
+        seqs from its replayed state (``max + 1``) instead of a
+        process-local counter.  Same idempotency contract as
+        :meth:`submit` — a re-submit of an existing ``(seq, key)`` is a
+        no-op, a key mismatch raises.
+        """
+        with self._mutex:
+            self.catch_up()
             existing = self.state.tasks.get(seq)
             if existing is not None:
                 if existing.key != tuple(key):
@@ -751,6 +852,31 @@ class DurableTaskQueue:
                 workers=pruned)
         return pruned
 
+    # -- spool serving ---------------------------------------------------
+
+    def read_raw(self, offset: int, max_bytes: int = 1 << 20,
+                 ) -> tuple[bytes, int]:
+        """Whole framed spool lines from ``offset`` on, verbatim.
+
+        This is how the broker streams its spool to coordinator
+        mirrors: the returned chunk ends at a newline (a torn tail is
+        never served) and keeps the on-disk CRC framing, so the far end
+        verifies line integrity over the network exactly as a local
+        replay would on disk.  Returns ``(chunk, next_offset)``; an
+        empty chunk means nothing new yet.
+        """
+        try:
+            with self.events_path.open("rb") as handle:
+                handle.seek(offset)
+                data = handle.read(max_bytes)
+        except OSError:
+            return b"", offset
+        end = data.rfind(b"\n")
+        if end < 0:
+            return b"", offset
+        chunk = data[:end + 1]
+        return chunk, offset + len(chunk)
+
     # -- replay / append internals --------------------------------------
 
     def _locked(self) -> "_LockScope":
@@ -817,15 +943,8 @@ class DurableTaskQueue:
                 payload_override = _PayloadRef(offset=line_offset,
                                                length=line_length)
         disposition = self.state.apply(event, payload=payload_override)
-        worker = str(event.get("worker") or "")
-        if disposition == "expire":
-            task = self.state.tasks.get(int(event.get("seq", -1)))
-            worker = task.requeued_from or "" if task is not None else ""
-        if disposition == "steal":
-            task = self.state.tasks.get(int(event.get("seq", -1)))
-            worker = task.worker or "" if task is not None else ""
         self._dispositions.append(
-            (disposition, int(event.get("seq", -1)), worker))
+            enrich_disposition(self.state, event, disposition))
 
     def _read_payload_ref(self, ref: _PayloadRef) -> str | None:
         with self.events_path.open("rb") as handle:

@@ -1,0 +1,602 @@
+"""Cross-host campaign broker: protocol, idempotency and client tests.
+
+Three layers, no sockets except where sockets are the point:
+
+* ``CampaignBroker.handle`` is pure request → response, so the verb
+  protocol (attach/submit/seal/claim/heartbeat/complete/sync, the
+  artifact plane, drain mode, idempotency-key replay) is tested
+  directly against framed bodies.
+* :class:`BrokerClient` is tested with an injected ``send`` that talks
+  straight to ``handle`` — retries, CRC re-framing, the unavailability
+  latch and the exactly-once guarantees under lost responses all
+  exercise the production retry path with zero network.
+* One smoke class runs the real ``serve_broker`` HTTP layer end to end
+  and pins the hardening attributes (daemon handler threads, bounded
+  per-request socket timeout).
+"""
+
+import threading
+
+import pytest
+
+from repro.campaign.broker import (
+    BROKER_PROTOCOL_VERSION,
+    CampaignBroker,
+    decode_framed,
+    encode_framed,
+    serve_broker,
+)
+from repro.campaign.broker_client import (
+    BrokerClient,
+    BrokerError,
+    BrokerTransportError,
+    BrokerUnavailableError,
+    HTTPTransport,
+    default_broker_retry,
+)
+from repro.campaign.scheduler import BrokerScheduler
+from repro.campaign.worker import QueueWorker, WorkerConfig
+from repro.resilience.checkpoint import CheckpointMismatchError
+from repro.resilience.memo import sha256_digest
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.supervision import CircuitBreaker, CircuitBreakerOpen
+from tests.test_obs_metrics import FakeClock
+
+
+def make_broker(tmp_path, clock=None, **kwargs):
+    kwargs.setdefault("fsync", False)
+    return CampaignBroker(tmp_path / "qdir",
+                          clock=clock if clock is not None else FakeClock(),
+                          **kwargs)
+
+
+def post(broker, path, obj):
+    """One framed verb against ``handle``; returns (status, decoded)."""
+    status, _ctype, payload = broker.handle("POST", path, encode_framed(obj))
+    return status, decode_framed(payload)
+
+
+def put_artifact(broker, text):
+    data = text.encode("utf-8")
+    digest = sha256_digest(data)
+    status, _ctype, _body = broker.handle(
+        "PUT", f"/v1/artifacts/{digest}", data)
+    assert status == 200
+    return digest
+
+
+def attach(broker, identity="camp-1", lease_s=30.0):
+    status, response = post(broker, "/v1/attach", {
+        "create": True, "identity": identity, "lease_s": lease_s})
+    assert status == 200 and response["ready"]
+    return response
+
+
+def submit(broker, key, text):
+    digest = put_artifact(broker, text)
+    status, response = post(broker, "/v1/submit",
+                            {"key": list(key), "payload_digest": digest})
+    assert status == 200
+    return response["seq"]
+
+
+def direct_send(broker):
+    """A client ``send`` wired straight into ``CampaignBroker.handle``."""
+    def send(method, path, body):
+        status, _ctype, payload = broker.handle(method, path, body)
+        return status, payload
+    return send
+
+
+def make_client(broker_or_send, **kwargs):
+    send = broker_or_send if callable(broker_or_send) \
+        else direct_send(broker_or_send)
+    kwargs.setdefault("retry", RetryPolicy(max_retries=4,
+                                           backoff_base_s=0.0))
+    kwargs.setdefault("sleep", lambda seconds: None)
+    return BrokerClient("http://test-broker", send=send, **kwargs)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        body = encode_framed({"ev": "claim", "seq": 3})
+        assert decode_framed(body) == {"ev": "claim", "seq": 3}
+
+    def test_flipped_byte_fails_crc(self):
+        body = bytearray(encode_framed({"seq": 3}))
+        body[-3] ^= 0x20
+        assert decode_framed(bytes(body)) is None
+
+    def test_non_dict_and_garbage_rejected(self):
+        from repro.resilience.checkpoint import frame_line
+        framed_list = (frame_line("[1, 2]") + "\n").encode()
+        assert decode_framed(framed_list) is None
+        assert decode_framed(b"") is None
+        assert decode_framed(b"\xff\xfe not utf8 \xff") is None
+        assert decode_framed(b"deadbeef not-json") is None
+
+
+class TestBrokerProtocol:
+    def test_not_ready_before_coordinator_attaches(self, tmp_path):
+        broker = make_broker(tmp_path)
+        digest = put_artifact(broker, "payload")
+        status, response = post(broker, "/v1/submit",
+                                {"key": ["k"], "payload_digest": digest})
+        assert status == 409
+        status, response = post(broker, "/v1/claim",
+                                {"worker": "w0", "lease_s": 5.0})
+        assert status == 200
+        assert response["claim"] is None and response["ready"] is False
+        status, _ctype, payload = broker.handle("GET", "/v1/status", b"")
+        assert decode_framed(payload)["ready"] is False
+
+    def test_attach_create_then_worker_attach(self, tmp_path):
+        broker = make_broker(tmp_path)
+        response = attach(broker, identity="camp-9", lease_s=12.0)
+        assert response["identity"] == "camp-9"
+        assert response["lease_s"] == 12.0
+        assert response["protocol"] == BROKER_PROTOCOL_VERSION
+        # A worker attach (no create, no identity) sees the same spool.
+        status, response = post(broker, "/v1/attach", {"create": False})
+        assert status == 200 and response["identity"] == "camp-9"
+
+    def test_identity_mismatch_is_409(self, tmp_path):
+        broker = make_broker(tmp_path)
+        attach(broker, identity="camp-a")
+        status, response = post(broker, "/v1/attach",
+                                {"create": True, "identity": "camp-b"})
+        assert status == 409
+        assert response["code"] == "identity_mismatch"
+        assert "different campaign" in response["error"]
+
+    def test_submit_requires_uploaded_artifact(self, tmp_path):
+        broker = make_broker(tmp_path)
+        attach(broker)
+        status, response = post(broker, "/v1/submit", {
+            "key": ["k"], "payload_digest": "0" * 64})
+        assert status == 409
+        assert "never uploaded" in response["error"]
+
+    def test_submit_is_idempotent_across_broker_restart(self, tmp_path):
+        broker = make_broker(tmp_path)
+        attach(broker)
+        assert submit(broker, ("a",), "pa") == 0
+        assert submit(broker, ("b",), "pb") == 1
+        assert submit(broker, ("a",), "pa") == 0  # same key, same seq
+        # A restarted broker process replays the spool and keeps
+        # dispensing stable seqs for known keys and fresh ones after.
+        reborn = make_broker(tmp_path)
+        attach(reborn)
+        assert submit(reborn, ("b",), "pb") == 1
+        assert submit(reborn, ("c",), "pc") == 2
+
+    def test_claim_heartbeat_complete_lifecycle(self, tmp_path):
+        clock = FakeClock()
+        broker = make_broker(tmp_path, clock=clock)
+        attach(broker)
+        submit(broker, ("r0",), "task-payload")
+        post(broker, "/v1/seal", {})
+        status, response = post(broker, "/v1/claim",
+                                {"worker": "w0", "lease_s": 5.0})
+        claim = response["claim"]
+        assert claim["seq"] == 0 and claim["token"] == 1
+        assert claim["key"] == ["r0"]
+        status, response = post(broker, "/v1/heartbeat", {
+            "seq": 0, "token": 1, "worker": "w0", "lease_s": 5.0})
+        assert response["ok"] is True
+        outcome = put_artifact(broker, "outcome-bytes")
+        status, response = post(broker, "/v1/complete", {
+            "seq": 0, "token": 1, "worker": "w0",
+            "payload_digest": outcome})
+        assert response["ok"] is True
+        status, _ctype, payload = broker.handle("GET", "/v1/status", b"")
+        final = decode_framed(payload)
+        assert final["drained"] is True and final["depth"] == 0
+        assert final["completed"] == 1 and final["fenced"] == 0
+
+    def test_claim_idempotency_key_replays_verbatim(self, tmp_path):
+        broker = make_broker(tmp_path)
+        attach(broker)
+        submit(broker, ("a",), "pa")
+        submit(broker, ("b",), "pb")
+        first = broker.handle("POST", "/v1/claim", encode_framed(
+            {"worker": "w0", "lease_s": 5.0, "idem": "w0-1"}))
+        replay = broker.handle("POST", "/v1/claim", encode_framed(
+            {"worker": "w0", "lease_s": 5.0, "idem": "w0-1"}))
+        assert replay == first  # byte-identical cached response
+        assert decode_framed(first[2])["claim"]["seq"] == 0
+        # The replay leased nothing: a fresh idempotency key gets the
+        # SECOND task, proving the duplicate never consumed one.
+        status, response = post(broker, "/v1/claim", {
+            "worker": "w0", "lease_s": 5.0, "idem": "w0-2"})
+        assert response["claim"]["seq"] == 1
+
+    def test_complete_replays_from_state_after_cache_loss(self, tmp_path):
+        # Even if the idempotency cache forgot the key (eviction,
+        # broker restart), a retried complete for a lease that already
+        # committed must acknowledge, not fence.
+        broker = make_broker(tmp_path)
+        attach(broker)
+        submit(broker, ("a",), "pa")
+        status, response = post(broker, "/v1/claim",
+                                {"worker": "w0", "lease_s": 5.0})
+        outcome = put_artifact(broker, "done")
+        request = {"seq": 0, "token": 1, "worker": "w0",
+                   "payload_digest": outcome}
+        _, first = post(broker, "/v1/complete", {**request, "idem": "k-1"})
+        assert first["ok"] is True
+        _, retried = post(broker, "/v1/complete", {**request, "idem": "k-2"})
+        assert retried["ok"] is True
+        status, _ctype, payload = broker.handle("GET", "/v1/status", b"")
+        final = decode_framed(payload)
+        assert final["completed"] == 1 and final["fenced"] == 0
+
+    def test_complete_with_missing_artifact_is_refused(self, tmp_path):
+        broker = make_broker(tmp_path)
+        attach(broker)
+        submit(broker, ("a",), "pa")
+        post(broker, "/v1/claim", {"worker": "w0", "lease_s": 5.0})
+        _, response = post(broker, "/v1/complete", {
+            "seq": 0, "token": 1, "worker": "w0",
+            "payload_digest": "f" * 64})
+        assert response["ok"] is False
+        assert "missing" in response["reason"]
+        status, _ctype, payload = broker.handle("GET", "/v1/status", b"")
+        assert decode_framed(payload)["completed"] == 0
+
+    def test_malformed_requests_are_400(self, tmp_path):
+        broker = make_broker(tmp_path)
+        attach(broker)
+        status, _ctype, _payload = broker.handle(
+            "POST", "/v1/claim", b"garbage that is not framed")
+        assert status == 400
+        status, response = post(broker, "/v1/claim", {"worker": "w0"})
+        assert status == 400  # lease_s missing
+        assert "malformed request" in response["error"]
+
+    def test_unknown_paths_and_methods(self, tmp_path):
+        broker = make_broker(tmp_path)
+        assert broker.handle("GET", "/v1/nope", b"")[0] == 404
+        assert post(broker, "/v1/nope", {})[0] == 404
+        assert broker.handle("DELETE", "/v1/claim", b"")[0] == 405
+        assert broker.handle("DELETE", "/v1/artifacts/ab", b"")[0] == 405
+
+    def test_drain_mode_refuses_mutations_keeps_reads(self, tmp_path):
+        broker = make_broker(tmp_path)
+        attach(broker)
+        digest = put_artifact(broker, "pa")
+        broker.begin_drain()
+        broker.begin_drain()  # idempotent
+        status, _response = post(broker, "/v1/submit",
+                                 {"key": ["a"], "payload_digest": digest})
+        assert status == 503
+        assert post(broker, "/v1/claim",
+                    {"worker": "w", "lease_s": 5.0})[0] == 503
+        assert broker.handle("PUT", f"/v1/artifacts/{digest}",
+                             b"pa")[0] == 503
+        # Reads and the coordinator's mirror sync stay available.
+        assert post(broker, "/v1/sync", {"offset": 0})[0] == 200
+        status, _ctype, payload = broker.handle("GET", "/v1/status", b"")
+        assert status == 200 and decode_framed(payload)["draining"] is True
+        assert broker.handle("GET", f"/v1/artifacts/{digest}", b"")[0] == 200
+
+    def test_metrics_endpoint_is_prometheus_text(self, tmp_path):
+        broker = make_broker(tmp_path)
+        attach(broker)
+        status, content_type, payload = broker.handle(
+            "GET", "/v1/metrics", b"")
+        assert status == 200 and content_type.startswith("text/plain")
+        assert b"broker_requests_total" in payload
+
+
+class TestArtifactPlane:
+    def test_roundtrip_and_dedup(self, tmp_path):
+        broker = make_broker(tmp_path)
+        data = b"blob-bytes"
+        digest = sha256_digest(data)
+        status, _ctype, payload = broker.handle(
+            "PUT", f"/v1/artifacts/{digest}", data)
+        assert decode_framed(payload)["stored"] is True
+        status, _ctype, payload = broker.handle(
+            "PUT", f"/v1/artifacts/{digest}", data)
+        assert decode_framed(payload)["stored"] is False  # content dedup
+        status, _ctype, fetched = broker.handle(
+            "GET", f"/v1/artifacts/{digest}", b"")
+        assert status == 200 and fetched == data
+
+    def test_mangled_upload_refused(self, tmp_path):
+        broker = make_broker(tmp_path)
+        digest = sha256_digest(b"intact")
+        status, _ctype, payload = broker.handle(
+            "PUT", f"/v1/artifacts/{digest}", b"mangled in flight")
+        assert status == 400
+        assert broker.handle("GET", f"/v1/artifacts/{digest}", b"")[0] == 404
+
+    def test_missing_artifact_404(self, tmp_path):
+        broker = make_broker(tmp_path)
+        assert broker.handle("GET", f"/v1/artifacts/{'0' * 64}",
+                             b"")[0] == 404
+
+
+class TestBrokerClient:
+    def test_end_to_end_in_process_drain(self, tmp_path):
+        broker = make_broker(tmp_path)
+        coordinator = make_client(broker, role="coordinator",
+                                  identity="camp-1", default_lease_s=20.0)
+        assert coordinator.open(create=True)
+        for index in range(4):
+            assert coordinator.submit((f"r{index}",),
+                                      f"payload-{index}") == index
+        coordinator.close()
+        worker = make_client(broker, role="worker", worker_id="w0")
+        assert worker.open()
+        assert worker.state.default_lease_s == 20.0
+        drained = 0
+        while True:
+            claim = worker.claim("w0", lease_s=20.0)
+            if claim is None:
+                break
+            assert claim.payload == f"payload-{claim.seq}"
+            assert worker.heartbeat(claim, lease_s=20.0)
+            assert worker.complete(claim, f"outcome-{claim.seq}")
+            drained += 1
+        worker.write_worker_heartbeat("w0", ttl_s=30.0)
+        assert drained == 4
+        assert worker.state.drained()
+        coordinator.expire_overdue()  # pumps the mirror sync
+        assert coordinator.state.drained()
+        assert coordinator.live_workers() == ["w0"]
+        for index in range(4):
+            assert coordinator.take_completion(index) == f"outcome-{index}"
+            assert coordinator.take_completion(index) is None  # taken once
+        kinds = [kind for kind, _seq, _worker
+                 in coordinator.drain_dispositions()]
+        assert kinds.count("complete") == 4
+        assert kinds.count("claim") == 4
+
+    def test_retries_through_503s(self, tmp_path):
+        broker = make_broker(tmp_path)
+        inner = direct_send(broker)
+        failures = {"left": 2}
+
+        def flaky(method, path, body):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                return 503, b"lb has no backend"
+            return inner(method, path, body)
+
+        client = make_client(flaky, role="coordinator", identity="c")
+        assert client.open(create=True)
+        assert failures["left"] == 0
+
+    def test_lost_claim_response_replays_not_reclaims(self, tmp_path):
+        # THE exactly-once hazard: the broker commits the claim, the
+        # response dies on the wire, the client retries.  The reused
+        # idempotency key must hand back the same claim, leaving the
+        # other task unleased.
+        broker = make_broker(tmp_path)
+        attach(broker)
+        submit(broker, ("a",), "pa")
+        submit(broker, ("b",), "pb")
+        inner = direct_send(broker)
+        drop = {"armed": True}
+
+        def lossy(method, path, body):
+            status, payload = inner(method, path, body)
+            if path == "/v1/claim" and drop["armed"]:
+                drop["armed"] = False
+                raise BrokerTransportError("response dropped")
+            return status, payload
+
+        client = make_client(lossy, role="worker", worker_id="w0")
+        claim = client.claim("w0", lease_s=30.0)
+        assert claim is not None and claim.seq == 0
+        assert claim.payload == "pa"
+        # Exactly one lease exists broker-side despite two deliveries.
+        state = broker._queue.state
+        assert sum(1 for task in state.tasks.values() if task.active) == 1
+        second = client.claim("w0", lease_s=30.0)
+        assert second is not None and second.seq == 1
+
+    def test_mangled_response_reframed_and_retried(self, tmp_path):
+        broker = make_broker(tmp_path)
+        inner = direct_send(broker)
+        mangle = {"armed": True}
+
+        def noisy(method, path, body):
+            status, payload = inner(method, path, body)
+            if mangle["armed"] and path == "/v1/attach":
+                mangle["armed"] = False
+                return status, payload[:-4] + b"XX\n"
+            return status, payload
+
+        client = make_client(noisy, role="coordinator", identity="c")
+        assert client.open(create=True)  # CRC caught it; retry succeeded
+
+    def test_artifact_download_reverified(self, tmp_path):
+        broker = make_broker(tmp_path)
+        coordinator = make_client(broker, role="coordinator", identity="c")
+        assert coordinator.open(create=True)
+        coordinator.submit(("a",), "precious payload")
+        coordinator.close()
+        inner = direct_send(broker)
+        mangle = {"armed": True}
+
+        def noisy(method, path, body):
+            status, payload = inner(method, path, body)
+            if mangle["armed"] and path.startswith("/v1/artifacts/") \
+                    and method == "GET":
+                mangle["armed"] = False
+                return status, payload[:-1] + b"X"
+            return status, payload
+
+        worker = make_client(noisy, role="worker", worker_id="w0")
+        claim = worker.claim("w0", lease_s=10.0)
+        assert claim.payload == "precious payload"
+
+    def test_unavailability_latches(self, tmp_path):
+        calls = {"count": 0}
+
+        def dead(method, path, body):
+            calls["count"] += 1
+            raise BrokerTransportError("connection refused")
+
+        client = make_client(
+            dead, role="worker",
+            retry=RetryPolicy(max_retries=2, backoff_base_s=0.0))
+        with pytest.raises(BrokerUnavailableError) as excinfo:
+            client.open()
+        assert "restart against the same broker" in str(excinfo.value)
+        assert calls["count"] == 3  # max_retries + 1
+        with pytest.raises(BrokerUnavailableError):
+            client.claim("w0", lease_s=5.0)
+        assert calls["count"] == 3  # latched: no further network traffic
+
+    def test_identity_mismatch_surfaces_unretried(self, tmp_path):
+        broker = make_broker(tmp_path)
+        attach(broker, identity="camp-a")
+        client = make_client(broker, role="coordinator", identity="camp-b")
+        with pytest.raises(CheckpointMismatchError):
+            client.open(create=True)
+
+    def test_protocol_errors_do_not_retry(self, tmp_path):
+        broker = make_broker(tmp_path)
+        calls = {"count": 0}
+        inner = direct_send(broker)
+
+        def counting(method, path, body):
+            calls["count"] += 1
+            return inner(method, path, body)
+
+        client = make_client(counting, role="worker")
+        with pytest.raises(BrokerError):
+            client._call("POST", "/v1/nope", {})
+        assert calls["count"] == 1
+
+    def test_rejects_unknown_role(self):
+        with pytest.raises(ValueError):
+            BrokerClient("http://x", role="observer")
+
+    def test_corrupt_spool_line_skipped_on_mirror(self, tmp_path):
+        broker = make_broker(tmp_path)
+        coordinator = make_client(broker, role="coordinator", identity="c")
+        assert coordinator.open(create=True)
+        coordinator.submit(("a",), "pa")
+        inner = direct_send(broker)
+
+        def corrupting(method, path, body):
+            status, payload = inner(method, path, body)
+            if path == "/v1/sync":
+                decoded = decode_framed(payload)
+                decoded["events"] = ("deadbeef {\"ev\": \"torn\"}\n"
+                                     + decoded["events"])
+                return status, encode_framed(decoded)
+            return status, payload
+
+        fresh = BrokerClient("http://test-broker", role="coordinator",
+                             send=corrupting, sleep=lambda _s: None,
+                             retry=RetryPolicy(max_retries=2,
+                                               backoff_base_s=0.0))
+        assert fresh.open()
+        assert fresh._skipped_lines >= 1
+        assert fresh.state.stats.submitted == 1  # good lines still applied
+
+
+class TestHTTPTransportValidation:
+    def test_rejects_non_http_schemes(self):
+        with pytest.raises(ValueError, match="must be http"):
+            HTTPTransport("https://host:1")
+        with pytest.raises(ValueError, match="no host"):
+            HTTPTransport("http://")
+
+    def test_bare_host_port_accepted(self):
+        transport = HTTPTransport("127.0.0.1:8123")
+        assert transport.host == "127.0.0.1"
+        assert transport.port == 8123
+
+    def test_connection_failure_is_transport_error(self):
+        transport = HTTPTransport("http://127.0.0.1:1", timeout_s=0.5)
+        with pytest.raises(BrokerTransportError):
+            transport("GET", "/v1/status", b"")
+
+    def test_default_retry_is_capped(self):
+        policy = default_broker_retry()
+        assert policy.backoff_max_s == 2.0
+        assert all(delay <= 2.0 * (1 + policy.jitter)
+                   for delay in policy.schedule(("p",)))
+
+
+class TestServeBrokerHTTP:
+    def test_real_http_roundtrip_and_hardening(self, tmp_path):
+        broker = make_broker(tmp_path)
+        server = serve_broker(broker, port=0, request_timeout_s=7.5)
+        assert type(server).daemon_threads is True
+        assert server.RequestHandlerClass.timeout == 7.5
+        assert server.RequestHandlerClass.protocol_version == "HTTP/1.1"
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            url = f"http://127.0.0.1:{server.server_address[1]}"
+            coordinator = BrokerClient(url, role="coordinator",
+                                       identity="camp-http",
+                                       default_lease_s=15.0)
+            assert coordinator.open(create=True)
+            assert coordinator.submit(("r0",), "net-payload") == 0
+            coordinator.close()
+            worker = BrokerClient(url, role="worker", worker_id="w0")
+            assert worker.open()
+            claim = worker.claim("w0", lease_s=15.0)
+            assert claim.payload == "net-payload"
+            assert worker.complete(claim, "net-outcome")
+            coordinator.expire_overdue()
+            assert coordinator.take_completion(0) == "net-outcome"
+            assert coordinator.state.drained()
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=30)
+
+
+class TestBrokerScheduler:
+    def test_unavailable_broker_trips_breaker(self, tmp_path):
+        def dead(method, path, body):
+            raise BrokerTransportError("connection refused")
+
+        client = make_client(
+            dead, role="coordinator", identity="c",
+            retry=RetryPolicy(max_retries=1, backoff_base_s=0.0))
+        scheduler = BrokerScheduler(client, CircuitBreaker())
+        assert "repro worker --broker" in scheduler.worker_hint
+        with pytest.raises(CircuitBreakerOpen) as excinfo:
+            scheduler.start()
+        assert "unreachable" in str(excinfo.value)
+
+    def test_shutdown_swallows_unavailability(self, tmp_path):
+        broker = make_broker(tmp_path)
+        client = make_client(broker, role="coordinator", identity="c",
+                             retry=RetryPolicy(max_retries=1,
+                                               backoff_base_s=0.0))
+        scheduler = BrokerScheduler(client, CircuitBreaker())
+        assert scheduler.start()
+        client._down = "simulated outage"
+        scheduler.shutdown()  # must not raise
+
+
+class TestWorkerBrokerMode:
+    def test_exactly_one_transport_must_be_selected(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            QueueWorker(WorkerConfig(queue_dir="q",
+                                     broker_url="http://x:1"))
+        with pytest.raises(ValueError, match="exactly one"):
+            QueueWorker(WorkerConfig(queue_dir=None, broker_url=None))
+
+    def test_unreachable_broker_is_resumable_exit_75(self, tmp_path):
+        worker = QueueWorker(WorkerConfig(
+            queue_dir=None, broker_url="http://127.0.0.1:9",
+            worker_id="w0", attach_timeout_s=1.0))
+        worker.queue = make_client(
+            lambda method, path, body: (_ for _ in ()).throw(
+                BrokerTransportError("refused")),
+            role="worker", worker_id="w0",
+            retry=RetryPolicy(max_retries=1, backoff_base_s=0.0))
+        assert worker.run() == 75  # EX_TEMPFAIL: restart to resume

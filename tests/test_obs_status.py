@@ -8,7 +8,9 @@ wiring (``repro status``, ``--log-level``/``--log-json``).
 """
 
 import json
+import socket
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -252,6 +254,35 @@ class TestHTTPSurface:
         finally:
             server.shutdown()
             server.server_close()
+
+    def test_server_is_hardened_against_stalled_clients(self, tmp_path):
+        # Regression: serve_status used to return a stock
+        # ThreadingHTTPServer whose non-daemon handler threads made
+        # server_close() block forever on a client that connected and
+        # then went silent, and whose handlers had no socket timeout.
+        clock = FakeClock()
+        make_queue(tmp_path, clock)
+        aggregator = make_aggregator(tmp_path, clock)
+        server = serve_status(aggregator, port=0, request_timeout_s=1.0)
+        assert type(server).daemon_threads is True
+        assert server.RequestHandlerClass.timeout == 1.0
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        # A client that connects and never sends a request: the
+        # per-request timeout plus daemon threads must let shutdown +
+        # server_close return promptly anyway.
+        stalled = socket.create_connection((host, port), timeout=5)
+        try:
+            self.fetch(f"http://{host}:{port}/status")  # still serves
+            start = time.monotonic()
+            server.shutdown()
+            server.server_close()
+            assert time.monotonic() - start < 10.0
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+        finally:
+            stalled.close()
 
 
 class TestStatusCLI:

@@ -167,6 +167,30 @@ class TestRetry:
         assert slept == outcome.backoffs_s
         assert len(slept) == 2
 
+    def test_backoff_cap_bounds_every_delay(self):
+        # Uncapped, 2**9 * 0.05 would be ~25s+; the cap pins the tail.
+        policy = RetryPolicy(max_retries=10, backoff_base_s=0.05,
+                             backoff_factor=2.0, seed=3,
+                             backoff_max_s=2.0)
+        schedule = policy.schedule(("verb",))
+        assert max(schedule) == 2.0
+        assert all(delay <= 2.0 for delay in schedule)
+        # Early delays below the cap are untouched (still jittered).
+        uncapped = RetryPolicy(max_retries=10, backoff_base_s=0.05,
+                               backoff_factor=2.0, seed=3)
+        assert schedule[0] == uncapped.schedule(("verb",))[0]
+
+    def test_backoff_cap_default_none_preserves_legacy_schedule(self):
+        legacy = RetryPolicy(max_retries=6, backoff_base_s=0.5, seed=9)
+        explicit = RetryPolicy(max_retries=6, backoff_base_s=0.5, seed=9,
+                               backoff_max_s=None)
+        assert legacy.backoff_max_s is None
+        assert legacy.schedule(("k",)) == explicit.schedule(("k",))
+
+    def test_backoff_cap_rejects_negative(self):
+        with pytest.raises(ValueError, match="backoff_max_s"):
+            RetryPolicy(backoff_max_s=-1.0)
+
 
 class TestCheckpoint:
     KEY = ("OP_T", "A1", "A1-P1", 0)

@@ -23,7 +23,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.resilience.checkpoint import CheckpointMismatchError, frame_line
-from repro.resilience.taskqueue import DurableTaskQueue, TaskQueueError
+from repro.resilience.taskqueue import (
+    DurableTaskQueue,
+    LeaseState,
+    TaskQueueError,
+)
 from tests.test_obs_metrics import FakeClock
 
 
@@ -349,3 +353,70 @@ class TestLeaseProperty:
         assert fresh.state.drained()
         for seq in range(submitted):
             assert fresh.take_completion(seq) == f"done{seq}"
+
+
+# A raw replay event against a single-task spool: the kind, a token
+# *offset* from the currently-accepted one (0 = stale duplicate,
+# 1 = the next writer, 2+ = a skipped/forged token that must fence),
+# and an arbitrarily skewed deadline — hypothesis freely duplicates
+# and reorders these, which is exactly the hazard space of heartbeat
+# events arriving over a lossy network.
+_REPLAY_EV = st.tuples(
+    st.sampled_from(["claim", "heartbeat", "expire", "complete"]),
+    st.integers(min_value=0, max_value=3),
+    st.floats(min_value=-1e6, max_value=1e6,
+              allow_nan=False, allow_infinity=False))
+
+
+class TestLeaseStateReplayProperty:
+    """``LeaseState.apply`` under skewed and duplicated lease events.
+
+    The broker coordinator mirrors the spool over the network, so its
+    state machine sees whatever event stream survives retries and
+    duplication.  Three properties must hold for *any* stream:
+
+    * fencing tokens accepted by claims are strictly monotonic — a
+      duplicated or replayed claim can never re-arm an old token;
+    * a heartbeat never resurrects a lease: if the task was inactive
+      (expired, completed or never claimed) before the heartbeat, it
+      is inactive after, whatever deadline the event carries;
+    * a completion is permanent — once ``done``, no later event of any
+      kind un-completes the task or double-counts ``completed``.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(events=st.lists(_REPLAY_EV, max_size=60))
+    def test_no_resurrection_and_monotonic_fencing(self, events):
+        state = LeaseState()
+        state.apply({"ev": "header", "version": 1, "identity": "prop",
+                     "lease_s": 10.0})
+        state.apply({"ev": "submit", "seq": 0, "key": ["k0"],
+                     "payload": "p0"})
+        accepted_tokens = []
+        for kind, offset, deadline in events:
+            task = state.tasks[0]
+            token = task.token + offset
+            was_active, was_done = task.active, task.done
+            was_completed = state.stats.completed
+            disposition = state.apply({
+                "ev": kind, "seq": 0, "token": token, "worker": "w",
+                "deadline": deadline, "payload": f"out-{token}"})
+            if disposition in ("claim", "steal"):
+                assert kind == "claim" and not was_active and not was_done
+                assert offset == 1  # only the next fencing token claims
+                accepted_tokens.append(token)
+            if kind == "heartbeat":
+                # No resurrection: an inactive lease stays inactive no
+                # matter how far the duplicated deadline skews.
+                if not was_active:
+                    assert disposition == "fenced"
+                    assert not task.active
+                assert task.done == was_done
+            if was_done:
+                # Completion is permanent under every later event.
+                assert task.done and not task.active
+                assert state.stats.completed == was_completed
+            assert state.stats.completed <= 1
+        assert accepted_tokens == sorted(set(accepted_tokens))
+        assert all(later > earlier for earlier, later
+                   in zip(accepted_tokens, accepted_tokens[1:]))
