@@ -71,6 +71,17 @@ Five subcommands mirror the reproduction's main workflows::
         exposes ``/metrics`` (Prometheus text) and ``/status`` (JSON)
         over stdlib HTTP for mid-campaign scraping.
 
+    python -m repro stream serve [--metrics-port 0] [--events-out ev.jsonl]
+        Run the live ingest server: thousands of concurrent device
+        streams over length-framed JSONL, each through a bounded-memory
+        incremental analyzer; loop onsets/ends surface as ``stream.*``
+        events and Prometheus ``/metrics``.  The bound HOST:PORT is the
+        first stdout line (then the metrics URL, with --metrics-port).
+
+    python -m repro stream replay HOST:PORT trace1.jsonl trace2.jsonl ...
+        Replay saved traces against a running ingest server, multiplexed
+        over a few connections, and print each stream's verdict as JSON.
+
 ``--log-level``/``--log-json`` on campaign, worker and profile mirror
 the structured event stream (claims, steals, retries, quarantines,
 breaker trips, …) to stderr, replacing the ad-hoc logging warnings.
@@ -427,6 +438,59 @@ def _add_profile_parser(subparsers) -> None:
     _add_log_flags(parser)
 
 
+def _add_stream_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "stream", help="live stream ingest: serve or replay device "
+                       "streams for online loop detection")
+    actions = parser.add_subparsers(dest="stream_command", required=True)
+    serve = actions.add_parser(
+        "serve", help="run the asyncio ingest server (length-framed "
+                      "JSONL, live loop detection per stream)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0, metavar="PORT",
+                       help="TCP port to bind (default 0 = pick a free "
+                            "one; the bound address is printed on stdout)")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="also serve Prometheus /metrics on this port "
+                            "(0 picks a free one; the metrics URL is the "
+                            "second stdout line)")
+    serve.add_argument("--horizon", type=int, default=None, metavar="N",
+                       help="per-stream dedup-ring horizon bounding "
+                            "memory and the longest detectable period "
+                            "(default 4096; 0 = unbounded)")
+    serve.add_argument("--min-repetitions", type=int, default=2,
+                       metavar="K",
+                       help="repetitions required to call a loop "
+                            "(default 2)")
+    serve.add_argument("--max-streams", type=int, default=10_000,
+                       metavar="N",
+                       help="cap on concurrently open streams "
+                            "(default 10000)")
+    serve.add_argument("--on-disorder", choices=("strict", "recover"),
+                       default="recover",
+                       help="out-of-order records: recover clamps and "
+                            "counts them (default), strict drops the "
+                            "stream with an error frame")
+    serve.add_argument("--events-out", default=None, metavar="PATH",
+                       help="append stream.* events (loop onsets/ends) "
+                            "as JSONL here")
+    _add_log_flags(serve)
+    replay = actions.add_parser(
+        "replay", help="replay saved traces against a running ingest "
+                       "server and print the verdicts as JSON")
+    replay.add_argument("address", metavar="HOST:PORT",
+                        help="ingest server address (the line `stream "
+                             "serve` printed on stdout)")
+    replay.add_argument("traces", nargs="+", metavar="TRACE",
+                        help="trace .jsonl files; each becomes one "
+                             "stream named after the file stem")
+    replay.add_argument("--connections", type=int, default=4, metavar="N",
+                        help="TCP connections to multiplex the streams "
+                             "over (default 4)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -441,6 +505,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_worker_parser(subparsers)
     _add_broker_parser(subparsers)
     _add_status_parser(subparsers)
+    _add_stream_parser(subparsers)
     return parser
 
 
@@ -812,6 +877,107 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    if args.stream_command == "serve":
+        return _cmd_stream_serve(args)
+    return _cmd_stream_replay(args)
+
+
+def _cmd_stream_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import threading
+
+    from repro.serve import StreamIngestServer, serve_metrics
+
+    obs = make_instrumentation()
+    _attach_event_stream(obs, args)
+    events_file = None
+    if args.events_out:
+        events_file = open(args.events_out, "a", encoding="utf-8")
+
+        def _jsonl_sink(event) -> None:
+            events_file.write(json.dumps(event.to_dict(),
+                                         separators=(",", ":")) + "\n")
+            events_file.flush()
+
+        obs.events.add_sink(_jsonl_sink)
+    horizon = args.horizon
+    if horizon is None:
+        from repro.serve.server import DEFAULT_HORIZON
+        horizon = DEFAULT_HORIZON
+    server = StreamIngestServer(
+        host=args.host, port=args.port,
+        horizon=horizon or None,  # 0 -> unbounded
+        min_repetitions=args.min_repetitions,
+        max_streams=args.max_streams,
+        on_disorder=args.on_disorder,
+        obs=obs,
+    )
+    metrics_server = None
+
+    async def _run() -> None:
+        nonlocal metrics_server
+        await server.start()
+        host, port = server.address
+        # Machine-readable lines first (CI smoke captures them); the
+        # human-facing chatter stays on stderr, like `broker serve`.
+        print(f"{host}:{port}", flush=True)
+        if args.metrics_port is not None:
+            metrics_server = serve_metrics(obs.registry, args.metrics_port,
+                                           host=args.host)
+            mhost, mport = metrics_server.server_address[:2]
+            print(f"http://{mhost}:{mport}/metrics", flush=True)
+            threading.Thread(target=metrics_server.serve_forever,
+                             daemon=True).start()
+        print(f"stream ingest serving {host}:{port} "
+              f"(horizon {horizon or 'unbounded'}; Ctrl-C / SIGTERM "
+              f"stops)", file=sys.stderr)
+        await server.serve_forever()
+
+    try:
+        with graceful_shutdown():
+            asyncio.run(_run())
+        return 0
+    except (KeyboardInterrupt, ShutdownRequested) as stop:
+        # Verdictless streams just end: live state is per-connection
+        # and the protocol has no server-side durability to flush.
+        print("stream ingest stopped", file=sys.stderr)
+        return 128 + stop.signum if isinstance(stop, ShutdownRequested) \
+            else 130
+    finally:
+        if metrics_server is not None:
+            metrics_server.shutdown()
+            metrics_server.server_close()
+        if events_file is not None:
+            events_file.close()
+
+
+def _cmd_stream_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import load_trace_files, replay_traces
+
+    host, _, port = args.address.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"error: bad address {args.address!r} (want HOST:PORT)",
+              file=sys.stderr)
+        return 2
+    try:
+        traces = load_trace_files(args.traces)
+    except (OSError, TraceParseError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    results = replay_traces(host, int(port), traces,
+                            connections=args.connections)
+    payload = {stream_id: {"verdict": result.verdict,
+                           "error": result.error}
+               for stream_id, result in sorted(results.items())}
+    print(json.dumps(payload, indent=2))
+    return 0 if all(result.error is None
+                    for result in results.values()) else 1
+
+
 _COMMANDS = {
     "campaign": _cmd_campaign,
     "analyze": _cmd_analyze,
@@ -821,6 +987,7 @@ _COMMANDS = {
     "worker": _cmd_worker,
     "broker": _cmd_broker,
     "status": _cmd_status,
+    "stream": _cmd_stream,
 }
 
 

@@ -158,8 +158,119 @@ class _CellSetTracker:
         return changed
 
 
+#: Timestamp regressions within this tolerance are clock jitter, not
+#: reordering — the same slack :meth:`SignalingTrace.append` allows.
+_TIME_TOLERANCE_S = 1e-9
+
+
+class CellSetSequenceBuilder:
+    """Streaming form of :func:`extract_cellset_sequence`.
+
+    Records are :meth:`push`-ed one at a time; :attr:`intervals` grows
+    as cell-set changes are committed and :meth:`finish` flushes the
+    pending interval.  The batch function is a thin wrapper, so the two
+    are identical by construction.
+
+    Stability contract (what the incremental analyzer relies on): after
+    pushing a record at time ``t``, every interval with ``end_s < t``
+    is final — only the *last* interval can still be reabsorbed, and
+    only by a same-instant state change (``end_s == t``).
+
+    Out-of-order records — timestamps regressing by more than the
+    trace's own 1e-9 jitter tolerance, which live streams will deliver
+    — are handled per ``on_disorder``: ``"strict"`` raises
+    :class:`~repro.resilience.errors.OutOfOrderRecordError`;
+    ``"recover"`` clamps the record to the running maximum time and
+    counts it (``records_out_of_order_total`` plus the
+    :attr:`records_out_of_order` tally).  Without the clamp the builder
+    would silently emit negative-duration intervals.
+    """
+
+    def __init__(self, *, on_disorder: str = "strict") -> None:
+        if on_disorder not in ("strict", "recover"):
+            raise ValueError(f"unknown on_disorder mode: {on_disorder!r}")
+        self._tracker = _CellSetTracker()
+        self._on_disorder = on_disorder
+        self._started = False
+        self._current: CellSet = IDLE_CELLSET
+        self._current_start = 0.0
+        self._last_time = 0.0
+        #: Committed intervals (see the stability contract above).
+        self.intervals: list[CellSetInterval] = []
+        #: Intervals ever committed (stays correct when a live consumer
+        #: drains :attr:`intervals`; merge-back pops do decrement it).
+        self.committed = 0
+        #: Out-of-order records seen so far (recover mode only).
+        self.records_out_of_order = 0
+
+    @property
+    def last_time_s(self) -> float:
+        """The running maximum record time (0.0 before any record)."""
+        return self._last_time
+
+    def push(self, record: Record) -> None:
+        """Feed one record; may commit intervals into :attr:`intervals`."""
+        time_s = record.time_s
+        if self._started and time_s < self._last_time:
+            if self._last_time - time_s > _TIME_TOLERANCE_S:
+                if self._on_disorder == "strict":
+                    from repro.resilience.errors import OutOfOrderRecordError
+                    raise OutOfOrderRecordError(
+                        f"record at t={time_s} precedes stream tail "
+                        f"t={self._last_time}",
+                        record_kind=getattr(record, "kind", None))
+                self.records_out_of_order += 1
+                from repro.obs import get_instrumentation
+                get_instrumentation().registry.counter(
+                    "records_out_of_order_total").inc()
+            # Clamp: jitter-sized regressions in either mode, genuine
+            # reordering in recover mode.  Effective times stay
+            # non-decreasing, so no negative-duration interval can form.
+            time_s = self._last_time
+        if not self._started:
+            self._started = True
+            self._current = self._tracker.snapshot()
+            self._current_start = time_s
+        self._last_time = time_s
+        if not self._tracker.apply(record):
+            return
+        new_set = self._tracker.snapshot()
+        if new_set == self._current:
+            return
+        if time_s == self._current_start:
+            # Same-timestamp state change: replace the pending state
+            # instead of emitting a zero-width interval.  If the new
+            # state matches the previous interval's, the split was
+            # transient — merge back into it.
+            if self.intervals and self.intervals[-1].cellset == new_set \
+                    and self.intervals[-1].end_s == self._current_start:
+                self._current_start = self.intervals.pop().start_s
+                self.committed -= 1
+            self._current = new_set
+            return
+        self.intervals.append(
+            CellSetInterval(self._current, self._current_start, time_s))
+        self.committed += 1
+        self._current = new_set
+        self._current_start = time_s
+
+    def finish(self, end_time_s: float | None = None) -> list[CellSetInterval]:
+        """Flush the pending interval and return the full sequence."""
+        if not self._started:
+            return self.intervals
+        final_end = end_time_s if end_time_s is not None else self._last_time
+        final_end = max(final_end, self._current_start)
+        if final_end > self._current_start or self.committed == 0:
+            self.intervals.append(
+                CellSetInterval(self._current, self._current_start, final_end))
+            self.committed += 1
+        return self.intervals
+
+
 def extract_cellset_sequence(records: list[Record],
-                             end_time_s: float | None = None) -> list[CellSetInterval]:
+                             end_time_s: float | None = None,
+                             *, on_disorder: str = "strict",
+                             ) -> list[CellSetInterval]:
     """Replay a record list into the sequence of serving cell sets.
 
     Consecutive identical cell sets are merged; the sequence always
@@ -171,47 +282,32 @@ def extract_cellset_sequence(records: list[Record],
     interval: the last state recorded at that instant wins.  Without
     this, downstream ``five_g_timeline``/``loop_cycles`` can see
     degenerate zero-width ON segments and produce ``on_s == 0`` cycles.
+
+    Regressing timestamps raise
+    :class:`~repro.resilience.errors.OutOfOrderRecordError` by default;
+    ``on_disorder="recover"`` clamps and counts them instead (see
+    :class:`CellSetSequenceBuilder`).
     """
-    tracker = _CellSetTracker()
-    intervals: list[CellSetInterval] = []
-    if not records:
-        return intervals
-    current = tracker.snapshot()
-    current_start = records[0].time_s
-    last_time = records[0].time_s
+    builder = CellSetSequenceBuilder(on_disorder=on_disorder)
     for record in records:
-        last_time = record.time_s
-        if not tracker.apply(record):
-            continue
-        new_set = tracker.snapshot()
-        if new_set == current:
-            continue
-        if record.time_s == current_start:
-            # Same-timestamp state change: replace the pending state
-            # instead of emitting a zero-width interval.  If the new
-            # state matches the previous interval's, the split was
-            # transient — merge back into it.
-            if intervals and intervals[-1].cellset == new_set \
-                    and intervals[-1].end_s == current_start:
-                current_start = intervals.pop().start_s
-            current = new_set
-            continue
-        intervals.append(CellSetInterval(current, current_start, record.time_s))
-        current = new_set
-        current_start = record.time_s
-    final_end = end_time_s if end_time_s is not None else last_time
-    final_end = max(final_end, current_start)
-    if final_end > current_start or not intervals:
-        intervals.append(CellSetInterval(current, current_start, final_end))
-    return intervals
+        builder.push(record)
+    return builder.finish(end_time_s)
 
 
 def five_g_timeline(intervals: list[CellSetInterval]) -> list[tuple[bool, float, float]]:
-    """Collapse a cell set sequence into (is_on, start, end) segments."""
+    """Collapse a cell set sequence into (is_on, start, end) segments.
+
+    Adjacent same-state intervals merge only when they are contiguous
+    (``segments[-1][2] == interval.start_s``): a gap between intervals
+    (dropped stream chunks) must not be silently absorbed into ON/OFF
+    time.  Batch-extracted sequences are always contiguous, so their
+    segments are unchanged.
+    """
     segments: list[tuple[bool, float, float]] = []
     for interval in intervals:
         on = interval.cellset.five_g_on
-        if segments and segments[-1][0] == on:
+        if segments and segments[-1][0] == on \
+                and segments[-1][2] == interval.start_s:
             previous = segments[-1]
             segments[-1] = (on, previous[1], interval.end_s)
         else:

@@ -67,13 +67,65 @@ class LoopDetection:
         return self.kind.is_loop
 
 
+class SpanDedup:
+    """Span-preserving dedup of a cell-set interval sequence.
+
+    Consecutive equal cell sets collapse into one *element* whose time
+    span covers all merged intervals.  This is the one implementation
+    shared by :func:`dedup_sequence`, :func:`loop_window` and the
+    incremental detector (:mod:`repro.core.incremental`) — it used to
+    live as two divergence-prone inline copies.
+
+    Elements are stored as parallel lists (``cellsets``/``starts``/
+    ``ends``).  Long-lived streams may :meth:`evict` old elements;
+    ``base`` is the absolute index of the first retained element, so
+    absolute indices (what :class:`LoopDetection.start_index` uses)
+    stay stable across eviction.  Batch callers never evict and can
+    index the lists directly.
+    """
+
+    __slots__ = ("cellsets", "starts", "ends", "base")
+
+    def __init__(self) -> None:
+        self.cellsets: list[CellSet] = []
+        self.starts: list[float] = []
+        self.ends: list[float] = []
+        self.base = 0
+
+    def __len__(self) -> int:
+        """The absolute dedup-sequence length (including evicted)."""
+        return self.base + len(self.cellsets)
+
+    def push(self, cellset: CellSet, start_s: float, end_s: float) -> bool:
+        """Add one interval; True when a new element was appended
+        (False: it merged into the last element's span)."""
+        if self.cellsets and self.cellsets[-1] == cellset:
+            self.ends[-1] = end_s
+            return False
+        self.cellsets.append(cellset)
+        self.starts.append(start_s)
+        self.ends.append(end_s)
+        return True
+
+    def extend(self, intervals: list[CellSetInterval]) -> None:
+        for interval in intervals:
+            self.push(interval.cellset, interval.start_s, interval.end_s)
+
+    def evict(self, keep_last: int) -> None:
+        """Drop all but the last ``keep_last`` elements (ring bound)."""
+        excess = len(self.cellsets) - keep_last
+        if excess > 0:
+            del self.cellsets[:excess]
+            del self.starts[:excess]
+            del self.ends[:excess]
+            self.base += excess
+
+
 def dedup_sequence(intervals: list[CellSetInterval]) -> list[CellSet]:
     """The cell set sequence with consecutive duplicates merged."""
-    sequence: list[CellSet] = []
-    for interval in intervals:
-        if not sequence or sequence[-1] != interval.cellset:
-            sequence.append(interval.cellset)
-    return sequence
+    dedup = SpanDedup()
+    dedup.extend(intervals)
+    return dedup.cellsets
 
 
 def _canonical_rotation(block: list[CellSet]) -> tuple[CellSet, ...]:
@@ -193,23 +245,18 @@ def loop_window(intervals: list[CellSetInterval],
     if not detection.is_loop:
         return None
     # Aggregate the intervals into deduplicated elements with time spans.
-    elements: list[tuple[CellSet, float, float]] = []
-    for interval in intervals:
-        if elements and elements[-1][0] == interval.cellset:
-            cellset, start_s, _ = elements[-1]
-            elements[-1] = (cellset, start_s, interval.end_s)
-        else:
-            elements.append((interval.cellset, interval.start_s,
-                             interval.end_s))
+    dedup = SpanDedup()
+    dedup.extend(intervals)
+    cellsets = dedup.cellsets
     first = detection.start_index
     period = detection.period
     tail_start = first + period * detection.repetitions
-    if first < 0 or tail_start > len(elements):
+    if first < 0 or tail_start > len(cellsets):
         return None
-    block = [cellset for cellset, _s, _e in elements[first:first + period]]
+    block = cellsets[first:first + period]
     tail = 0
-    while tail < period and tail_start + tail < len(elements) and \
-            elements[tail_start + tail][0] == block[tail]:
+    while tail < period and tail_start + tail < len(cellsets) and \
+            cellsets[tail_start + tail] == block[tail]:
         tail += 1
     last = tail_start + tail - 1
-    return elements[first][1], elements[last][2]
+    return dedup.starts[first], dedup.ends[last]

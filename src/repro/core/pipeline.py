@@ -217,6 +217,60 @@ def _collect_measurement_stats_columnar(rcolumns: RecordColumns,
                     measurement.rsrp_dbm)
 
 
+def assemble_analysis(metadata: TraceMetadata,
+                      rcolumns: RecordColumns,
+                      icolumns: IntervalColumns,
+                      intervals: list[CellSetInterval],
+                      detection: LoopDetection,
+                      duration_s: float) -> RunAnalysis:
+    """Classify + metrics + stats: the analysis stages past detection.
+
+    Shared verbatim between :func:`analyze_trace` and
+    :meth:`repro.core.incremental.IncrementalAnalyzer.finalize` — given
+    the same columns, intervals and detection, both produce the same
+    :class:`RunAnalysis` by construction.
+    """
+    registry = get_instrumentation().registry
+    with registry.timer("stage_seconds", stage="classify"):
+        if detection.is_loop:
+            subtype, transitions = classify_loop_columnar(rcolumns,
+                                                          icolumns)
+        else:
+            subtype, transitions = LoopSubtype.UNKNOWN, []
+    check_deadline("classify")
+    with registry.timer("stage_seconds", stage="loop_metrics"):
+        cycles = loop_cycles_columnar(
+            icolumns, loop_window(intervals, detection)) \
+            if detection.is_loop else []
+        performance = run_performance_columnar(icolumns, rcolumns)
+    check_deadline("loop_metrics")
+
+    analysis = RunAnalysis(
+        metadata=metadata,
+        intervals=intervals,
+        detection=detection,
+        subtype=subtype,
+        transitions=transitions,
+        cycles=cycles,
+        performance=performance,
+        scg_meas_delays=scg_measurement_delays_columnar(rcolumns),
+        scell_mods=_scell_modification_outcomes_columnar(rcolumns),
+        duration_s=duration_s,
+        n_cs_samples=len(intervals),
+    )
+    with registry.timer("stage_seconds", stage="collect_stats"):
+        analysis.unique_cellsets.update(icolumns.cellsets)
+        for cellset in icolumns.cellsets:
+            for cell in cellset.all_cells():
+                analysis.observed_cells.add(cell)
+                if cell.rat is Rat.NR:
+                    analysis.serving_nr_channels.add(cell.channel)
+                else:
+                    analysis.serving_lte_channels.add(cell.channel)
+        _collect_measurement_stats_columnar(rcolumns, icolumns, analysis)
+    return analysis
+
+
 def analyze_trace(trace: SignalingTrace) -> RunAnalysis:
     """Run the full analysis pipeline on one signaling trace.
 
@@ -243,47 +297,12 @@ def analyze_trace(trace: SignalingTrace) -> RunAnalysis:
         with registry.timer("stage_seconds", stage="detect_loop"):
             detection = detect_loop(intervals)
         check_deadline("detect_loop")
-        with registry.timer("stage_seconds", stage="classify"):
-            if detection.is_loop:
-                subtype, transitions = classify_loop_columnar(rcolumns,
-                                                              icolumns)
-            else:
-                subtype, transitions = LoopSubtype.UNKNOWN, []
-        check_deadline("classify")
-        with registry.timer("stage_seconds", stage="loop_metrics"):
-            cycles = loop_cycles_columnar(
-                icolumns, loop_window(intervals, detection)) \
-                if detection.is_loop else []
-            performance = run_performance_columnar(icolumns, rcolumns)
-        check_deadline("loop_metrics")
-
-        analysis = RunAnalysis(
-            metadata=trace.metadata,
-            intervals=intervals,
-            detection=detection,
-            subtype=subtype,
-            transitions=transitions,
-            cycles=cycles,
-            performance=performance,
-            scg_meas_delays=scg_measurement_delays_columnar(rcolumns),
-            scell_mods=_scell_modification_outcomes_columnar(rcolumns),
-            duration_s=trace.duration_s,
-            n_cs_samples=len(intervals),
-        )
-        with registry.timer("stage_seconds", stage="collect_stats"):
-            analysis.unique_cellsets.update(icolumns.cellsets)
-            for cellset in icolumns.cellsets:
-                for cell in cellset.all_cells():
-                    analysis.observed_cells.add(cell)
-                    if cell.rat is Rat.NR:
-                        analysis.serving_nr_channels.add(cell.channel)
-                    else:
-                        analysis.serving_lte_channels.add(cell.channel)
-            _collect_measurement_stats_columnar(rcolumns, icolumns, analysis)
+        analysis = assemble_analysis(trace.metadata, rcolumns, icolumns,
+                                     intervals, detection, trace.duration_s)
         registry.counter("pipeline_runs_analyzed_total").inc()
         if detection.is_loop:
             registry.counter("pipeline_loops_detected_total").inc(
                 kind=detection.kind.value)
             registry.counter("pipeline_loop_subtype_total").inc(
-                subtype=subtype.value)
+                subtype=analysis.subtype.value)
     return analysis

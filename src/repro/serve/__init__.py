@@ -1,0 +1,35 @@
+"""Live stream ingest plane (`repro stream ...`).
+
+:class:`StreamIngestServer` multiplexes many concurrent device streams
+over length-framed JSONL, runs each through an
+:class:`~repro.core.incremental.IncrementalAnalyzer` in bounded-memory
+live mode, and emits loop-onset/loop-end events plus Prometheus metrics
+(:func:`serve_metrics`).  :mod:`repro.serve.client` is the matching
+fleet replay driver.
+"""
+
+from repro.serve.client import (
+    ReplayResult,
+    load_trace_files,
+    replay_traces,
+    replay_traces_async,
+)
+from repro.serve.server import (
+    FrameError,
+    StreamIngestServer,
+    encode_frame,
+    read_frame,
+    serve_metrics,
+)
+
+__all__ = [
+    "FrameError",
+    "ReplayResult",
+    "StreamIngestServer",
+    "encode_frame",
+    "load_trace_files",
+    "read_frame",
+    "replay_traces",
+    "replay_traces_async",
+    "serve_metrics",
+]

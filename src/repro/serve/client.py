@@ -1,0 +1,141 @@
+"""Fleet replay client for the stream ingest server.
+
+:func:`replay_traces` drives N device streams against a
+:class:`~repro.serve.server.StreamIngestServer` the way a fleet would:
+streams are spread over a small pool of connections and the streams
+sharing a connection are *interleaved* record-by-record (round-robin),
+so the server demonstrably handles multiplexed frames rather than one
+neat stream per socket.  Each stream is opened, fed its records, closed
+with the trace's batch end time, and its verdict frame collected.
+
+This is the smoke/benchmark driver behind ``repro stream replay`` — a
+real deployment would speak the same frames straight from the capture
+hook on the device.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.serve.server import FrameError, encode_frame, read_frame
+from repro.traces.log import SignalingTrace
+
+__all__ = ["ReplayResult", "replay_traces", "replay_traces_async"]
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """One stream's outcome: the server's verdict (or an error)."""
+
+    stream: str
+    verdict: dict | None
+    error: str | None = None
+
+    @property
+    def kind(self) -> str | None:
+        """The detection kind ("I" / "II-P" / "II-SP"), if any."""
+        return None if self.verdict is None else self.verdict.get("kind")
+
+
+async def _drive_connection(host: str, port: int,
+                            streams: list[tuple[str, SignalingTrace]],
+                            results: dict[str, ReplayResult]) -> None:
+    """Open/feed/close ``streams`` multiplexed over one connection."""
+    reader, writer = await asyncio.open_connection(host, port)
+    pending = set()
+    try:
+        for stream_id, trace in streams:
+            writer.write(encode_frame({
+                "op": "open", "stream": stream_id,
+                "meta": trace.metadata.to_dict(),
+            }))
+            pending.add(stream_id)
+        await writer.drain()
+        # Round-robin one record per stream: frames from different
+        # streams interleave on the wire.
+        cursors = [(stream_id, iter(trace.records))
+                   for stream_id, trace in streams]
+        while cursors:
+            still = []
+            for stream_id, records in cursors:
+                record = next(records, None)
+                if record is None:
+                    writer.write(encode_frame(
+                        {"op": "close", "stream": stream_id}))
+                    continue
+                writer.write(encode_frame({
+                    "op": "record", "stream": stream_id,
+                    "record": record.to_dict(),
+                }))
+                still.append((stream_id, records))
+            await writer.drain()
+            cursors = still
+        # Collect one reply per stream: the `open` acks arrive first,
+        # then verdicts (or errors) in server order.
+        while pending:
+            frame = await read_frame(reader)
+            if frame is None:
+                raise FrameError("server closed before all verdicts")
+            stream_id = frame.get("stream")
+            if frame.get("op") == "verdict" and stream_id in pending:
+                pending.discard(stream_id)
+                results[stream_id] = ReplayResult(
+                    stream=stream_id, verdict=frame.get("verdict"))
+            elif frame.get("op") == "error":
+                if stream_id in pending:
+                    pending.discard(stream_id)
+                    results[stream_id] = ReplayResult(
+                        stream=stream_id, verdict=None,
+                        error=frame.get("error"))
+                else:
+                    raise FrameError(f"server error: {frame.get('error')}")
+    finally:
+        for stream_id in pending:
+            results.setdefault(stream_id, ReplayResult(
+                stream=stream_id, verdict=None, error="connection lost"))
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def replay_traces_async(host: str, port: int,
+                              traces: dict[str, SignalingTrace],
+                              connections: int = 4,
+                              ) -> dict[str, ReplayResult]:
+    """Replay ``traces`` (stream id -> trace) concurrently; see module
+    docstring for the multiplexing shape."""
+    items = sorted(traces.items())
+    connections = max(1, min(connections, len(items) or 1))
+    buckets: list[list[tuple[str, SignalingTrace]]] = \
+        [[] for _ in range(connections)]
+    for index, item in enumerate(items):
+        buckets[index % connections].append(item)
+    results: dict[str, ReplayResult] = {}
+    await asyncio.gather(*(
+        _drive_connection(host, port, bucket, results)
+        for bucket in buckets if bucket))
+    return results
+
+
+def replay_traces(host: str, port: int,
+                  traces: dict[str, SignalingTrace],
+                  connections: int = 4) -> dict[str, ReplayResult]:
+    """Synchronous wrapper around :func:`replay_traces_async`."""
+    return asyncio.run(replay_traces_async(host, port, traces,
+                                           connections=connections))
+
+
+def load_trace_files(paths: list[str | Path]) -> dict[str, SignalingTrace]:
+    """Trace files -> {stream id: trace}, ids from the file stems."""
+    traces: dict[str, SignalingTrace] = {}
+    for path in paths:
+        path = Path(path)
+        stream_id = path.stem
+        if stream_id in traces:  # duplicate stems: disambiguate
+            stream_id = f"{stream_id}-{len(traces)}"
+        traces[stream_id] = SignalingTrace.load(path)
+    return traces

@@ -270,6 +270,61 @@ class TestReplay:
         ]
 
 
+class TestOutOfOrder:
+    """Regressing timestamps used to silently emit negative-duration
+    intervals; they now follow the TraceParseError taxonomy."""
+
+    RECORDS = [
+        RrcSetupCompleteRecord(time_s=1.0, cell=P41),
+        RrcReleaseRecord(time_s=5.0),
+        RrcSetupCompleteRecord(time_s=3.0, cell=LTE_P),  # regression!
+        RrcReleaseRecord(time_s=7.0),
+    ]
+
+    def test_strict_mode_raises_taxonomy_error(self):
+        from repro.resilience.errors import (
+            OutOfOrderRecordError,
+            TraceParseError,
+        )
+        with pytest.raises(OutOfOrderRecordError) as excinfo:
+            extract_cellset_sequence(self.RECORDS, end_time_s=10.0)
+        assert isinstance(excinfo.value, TraceParseError)
+
+    def test_recover_mode_clamps_and_counts(self):
+        from repro.core.cellset import CellSetSequenceBuilder
+
+        builder = CellSetSequenceBuilder(on_disorder="recover")
+        for record in self.RECORDS:
+            builder.push(record)
+        intervals = builder.finish(10.0)
+        assert builder.records_out_of_order == 1
+        # The regressing setup is clamped to t=5.0: no negative spans.
+        assert all(i.end_s >= i.start_s for i in intervals)
+        assert intervals == [
+            CellSetInterval(CellSet(pcell=P41), 1.0, 5.0),
+            CellSetInterval(CellSet(pcell=LTE_P), 5.0, 7.0),
+            CellSetInterval(CellSet(), 7.0, 10.0),
+        ]
+
+    def test_recover_wrapper_matches_builder(self):
+        intervals = extract_cellset_sequence(self.RECORDS, end_time_s=10.0,
+                                             on_disorder="recover")
+        assert all(i.end_s >= i.start_s for i in intervals)
+
+    def test_jitter_within_tolerance_is_not_disorder(self):
+        records = [
+            RrcSetupCompleteRecord(time_s=1.0, cell=P41),
+            RrcReleaseRecord(time_s=5.0),
+            RrcSetupCompleteRecord(time_s=5.0 - 1e-12, cell=LTE_P),
+        ]
+        intervals = extract_cellset_sequence(records, end_time_s=10.0)
+        assert intervals[-1].cellset.pcell == LTE_P
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            extract_cellset_sequence([], on_disorder="ignore")
+
+
 class TestTimeline:
     def test_merges_adjacent_same_state(self):
         intervals = [
@@ -282,6 +337,31 @@ class TestTimeline:
         timeline = five_g_timeline(intervals)
         assert timeline == [(False, 0.0, 1.0), (True, 1.0, 5.0),
                             (False, 5.0, 9.0)]
+
+    def test_gap_between_same_state_intervals_is_not_merged(self):
+        # A dropped stream chunk leaves a hole [3.0, 6.0) between two ON
+        # intervals; merging across it would silently count the gap as
+        # ON time.
+        intervals = [
+            CellSetInterval(CellSet(pcell=P41), 0.0, 3.0),
+            CellSetInterval(CellSet(pcell=P41, mcg_scells=frozenset({S41})),
+                            6.0, 9.0),
+        ]
+        timeline = five_g_timeline(intervals)
+        assert timeline == [(True, 0.0, 3.0), (True, 6.0, 9.0)]
+        assert sum(end - start for _, start, end in timeline) == 6.0
+
+    def test_contiguous_intervals_still_merge(self):
+        # Batch-extracted sequences are contiguous: the gap rule must
+        # leave their segments exactly as before.
+        intervals = [
+            CellSetInterval(CellSet(pcell=P41), 0.0, 3.0),
+            CellSetInterval(CellSet(pcell=P41, mcg_scells=frozenset({S41})),
+                            3.0, 9.0),
+            CellSetInterval(CellSet(), 9.0, 12.0),
+        ]
+        assert five_g_timeline(intervals) == [(True, 0.0, 9.0),
+                                              (False, 9.0, 12.0)]
 
     @given(st.lists(st.booleans(), min_size=1, max_size=30))
     def test_timeline_alternates(self, states):

@@ -107,6 +107,72 @@ class TestDedup:
         assert dedup_sequence([]) == []
 
 
+class TestSpanDedup:
+    """The shared span-preserving dedup helper (used by dedup_sequence,
+    loop_window and the incremental detector)."""
+
+    def test_merges_spans(self):
+        from repro.core.loops import SpanDedup
+
+        dedup = SpanDedup()
+        assert dedup.push(ON_A, 0.0, 1.0) is True
+        assert dedup.push(ON_A, 1.0, 2.0) is False  # merged
+        assert dedup.push(IDLE, 2.0, 3.0) is True
+        assert dedup.cellsets == [ON_A, IDLE]
+        assert dedup.starts == [0.0, 2.0]
+        assert dedup.ends == [2.0, 3.0]
+        assert len(dedup) == 2
+
+    def test_evict_keeps_absolute_indexing(self):
+        from repro.core.loops import SpanDedup
+
+        dedup = SpanDedup()
+        dedup.extend(seq(ON_A, IDLE, ON_B, IDLE, ON_C))
+        dedup.evict(2)
+        assert dedup.base == 3
+        assert len(dedup) == 5  # absolute length includes evicted
+        assert dedup.cellsets == [IDLE, ON_C]
+
+    @given(st.lists(st.sampled_from([ON_A, ON_B, ON_C, IDLE, OFF_LTE]),
+                    max_size=24))
+    def test_matches_dedup_sequence(self, cellsets):
+        from repro.core.loops import SpanDedup
+
+        intervals = seq(*cellsets)
+        dedup = SpanDedup()
+        dedup.extend(intervals)
+        assert dedup.cellsets == dedup_sequence(intervals)
+        # Spans tile the timeline: each element covers its merged run.
+        for i in range(len(dedup.cellsets) - 1):
+            assert dedup.ends[i] == dedup.starts[i + 1]
+
+
+class TestLoopWindow:
+    def test_merge_heavy_window_pinned(self):
+        """Regression pin: duplicated-heavy intervals (many consecutive
+        merges) map the periodic region to the same time span as before
+        the dedup logic was unified into SpanDedup."""
+        from repro.core.loops import loop_window
+
+        # ON_A x3, IDLE x2, ON_A x1, IDLE x3, ON_A x2 (unit intervals):
+        # dedup = [ON_A, IDLE, ON_A, IDLE, ON_A] with spans
+        # [0,3) [3,5) [5,6) [6,9) [9,11).
+        intervals = seq(ON_A, ON_A, ON_A, IDLE, IDLE, ON_A,
+                        IDLE, IDLE, IDLE, ON_A, ON_A)
+        detection = detect_loop(intervals)
+        assert detection.is_loop
+        assert (detection.start_index, detection.period) == (0, 2)
+        assert detection.repetitions == 2
+        # Window = repetitions [0,9) + partial tail ON_A [9,11).
+        assert loop_window(intervals, detection) == (0.0, 11.0)
+
+    def test_window_none_without_loop(self):
+        from repro.core.loops import loop_window
+
+        intervals = seq(ON_A, ON_B)
+        assert loop_window(intervals, detect_loop(intervals)) is None
+
+
 @st.composite
 def loop_sequences(draw):
     """A random block (with both states) repeated 2-4 times plus noise."""

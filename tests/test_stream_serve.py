@@ -1,0 +1,287 @@
+"""End-to-end tests for the live stream ingest plane (repro.serve).
+
+The headline test is the ISSUE's CI smoke shape run in-process: start
+the asyncio ingest server, replay 24 simulated device streams
+concurrently (multiplexed over a handful of connections), and assert
+that every stream's live verdict and loop-onset events agree with the
+batch ``analyze_trace`` verdict on the same records, with per-stream
+gauges visible on the Prometheus surface.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.cells.cell import Rat
+from repro.core.pipeline import analyze_trace
+from repro.obs import make_instrumentation
+from repro.serve import (
+    FrameError,
+    StreamIngestServer,
+    encode_frame,
+    read_frame,
+    replay_traces_async,
+    serve_metrics,
+)
+from repro.traces.log import SignalingTrace, TraceMetadata
+from repro.traces.records import (
+    RrcReleaseRecord,
+    RrcSetupCompleteRecord,
+)
+from tests.conftest import cell_id
+
+NR_CELL = cell_id(393, 521310)
+NR_CELL_B = cell_id(104, 501390)
+LTE_CELL = cell_id(380, 5145, Rat.LTE)
+
+
+def _loop_trace(cycles: int, seed: int, exit_after: bool) -> SignalingTrace:
+    """setup/release cycles => a 5G ON-OFF loop; optionally exit it."""
+    trace = SignalingTrace(metadata=TraceMetadata(
+        operator="OP_T", area="A1", location=f"L{seed}", run_seed=seed))
+    t = float(seed % 3)  # desynchronise the streams a little
+    for _ in range(cycles):
+        trace.append(RrcSetupCompleteRecord(time_s=t, cell=NR_CELL))
+        trace.append(RrcReleaseRecord(time_s=t + 4.0))
+        t += 8.0
+    if exit_after:
+        trace.append(RrcSetupCompleteRecord(time_s=t, cell=NR_CELL_B))
+        trace.append(RrcSetupCompleteRecord(time_s=t + 6.0, cell=LTE_CELL))
+    return trace
+
+
+def _steady_trace(seed: int) -> SignalingTrace:
+    """One setup, no cycling: no loop."""
+    trace = SignalingTrace(metadata=TraceMetadata(
+        operator="OP_T", area="A1", location=f"S{seed}", run_seed=seed))
+    trace.append(RrcSetupCompleteRecord(time_s=0.0, cell=NR_CELL))
+    trace.append(RrcReleaseRecord(time_s=30.0))
+    return trace
+
+
+def _fleet(count: int = 24) -> dict[str, SignalingTrace]:
+    traces = {}
+    for index in range(count):
+        shape = index % 3
+        if shape == 0:
+            trace = _loop_trace(3 + index % 3, index, exit_after=False)
+        elif shape == 1:
+            trace = _loop_trace(2 + index % 2, index, exit_after=True)
+        else:
+            trace = _steady_trace(index)
+        traces[f"dev-{index:02d}"] = trace
+    return traces
+
+
+async def _serve_and_replay(traces, *, obs=None, connections=5, **kwargs):
+    server = StreamIngestServer(obs=obs, **kwargs)
+    await server.start()
+    try:
+        host, port = server.address
+        return await replay_traces_async(host, port, traces,
+                                         connections=connections)
+    finally:
+        await server.stop()
+
+
+def _read_raw(raw: bytes, **kwargs):
+    """Run read_frame over a pre-fed in-memory reader."""
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_frame(reader, **kwargs)
+    return asyncio.run(go())
+
+
+class TestFraming:
+    def test_round_trip(self):
+        frame = encode_frame({"op": "ping", "x": [1, 2]})
+        assert _read_raw(frame) == {"op": "ping", "x": [1, 2]}
+
+    def test_eof_at_boundary_is_none(self):
+        assert _read_raw(b"") is None
+
+    @pytest.mark.parametrize("raw", [
+        b"xyz\n{}",                      # non-numeric header
+        b"5\n{}",                        # truncated body
+        b"2\nhi",                        # not JSON
+        b"2\n[]" + b"0\n",               # JSON but not an object
+    ])
+    def test_protocol_violations_raise(self, raw):
+        with pytest.raises(FrameError):
+            _read_raw(raw)
+
+    def test_oversized_frame_rejected_before_read(self):
+        with pytest.raises(FrameError, match="cap"):
+            _read_raw(b"999999999\n", max_bytes=1024)
+
+
+class TestIngestE2E:
+    def test_fleet_verdicts_match_batch(self):
+        """The acceptance smoke: >=20 concurrent streams, live verdicts
+        and loop-onset events equal to batch analyze_trace on every one."""
+        traces = _fleet(24)
+        batch = {sid: analyze_trace(trace).detection
+                 for sid, trace in traces.items()}
+        obs = make_instrumentation()
+        results = asyncio.run(_serve_and_replay(traces, obs=obs))
+
+        assert set(results) == set(traces)
+        for stream_id, result in results.items():
+            assert result.error is None, (stream_id, result.error)
+            expected = batch[stream_id]
+            assert result.kind == expected.kind.value, stream_id
+            if expected.is_loop:
+                assert result.verdict["period"] == expected.period
+                assert result.verdict["repetitions"] == expected.repetitions
+                assert result.verdict["start_index"] == expected.start_index
+
+        # Loop onsets were emitted live for exactly the looping streams.
+        onsets = {event.fields["stream"]
+                  for event in obs.events.recent(limit=10_000)
+                  if event.name == "stream.loop_onset"}
+        looping = {sid for sid, det in batch.items() if det.is_loop}
+        assert onsets == looping
+        assert len(looping) >= 10  # the fixture really exercises loops
+
+        # Per-stream gauges + counters are on the Prometheus surface.
+        prom = obs.registry.to_prometheus()
+        assert 'stream_dedup_elements{stream="dev-00"}' in prom
+        assert "stream_verdicts_total" in prom
+        assert "stream_open_streams 0" in prom  # all closed at the end
+
+    def test_metrics_http_surface(self):
+        traces = _fleet(6)
+        obs = make_instrumentation()
+        asyncio.run(_serve_and_replay(traces, obs=obs))
+        server = serve_metrics(obs.registry, 0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            with urllib.request.urlopen(
+                    f"http://{host}:{port}/metrics") as response:
+                body = response.read().decode("utf-8")
+            assert response.status == 200
+            assert "stream_opened_total 6" in body
+            assert 'stream_dedup_elements{stream="dev-00"}' in body
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(f"http://{host}:{port}/nope")
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_horizon_bounds_memory_but_not_verdicts_here(self):
+        traces = _fleet(6)
+        batch = {sid: analyze_trace(trace).detection
+                 for sid, trace in traces.items()}
+        results = asyncio.run(_serve_and_replay(traces, horizon=16))
+        for stream_id, result in results.items():
+            assert result.kind == batch[stream_id].kind.value
+
+
+class TestProtocolErrors:
+    async def _session(self, server, frames):
+        """Send all frames, half-close, then drain every reply."""
+        reader, writer = await asyncio.open_connection(*server.address)
+        replies = []
+        try:
+            for frame in frames:
+                writer.write(encode_frame(frame))
+            await writer.drain()
+            writer.write_eof()
+            while (reply := await read_frame(reader)) is not None:
+                replies.append(reply)
+        finally:
+            writer.close()
+            await writer.wait_closed()
+        return replies
+
+    def _run(self, frames, **kwargs):
+        async def go():
+            server = StreamIngestServer(**kwargs)
+            await server.start()
+            try:
+                return await self._session(server, frames)
+            finally:
+                await server.stop()
+        return asyncio.run(go())
+
+    def test_ping(self):
+        assert self._run([{"op": "ping"}]) == [{"op": "ok"}]
+
+    def test_record_without_open_errors(self):
+        [reply] = self._run([{"op": "record", "stream": "s1",
+                              "record": {"kind": "rrc_release",
+                                         "time_s": 1.0}}])
+        # record frames normally get no reply; the error IS the reply.
+        assert reply["op"] == "error"
+        assert "not open" in reply["error"]
+
+    def test_double_open_errors(self):
+        replies = self._run([{"op": "open", "stream": "s1"},
+                             {"op": "open", "stream": "s1"}])
+        assert replies[0]["op"] == "ok"
+        assert replies[1]["op"] == "error"
+
+    def test_missing_stream_id(self):
+        [reply] = self._run([{"op": "open"}])
+        assert reply["op"] == "error"
+
+    def test_unknown_op(self):
+        replies = self._run([{"op": "open", "stream": "s1"},
+                             {"op": "flush", "stream": "s1"}])
+        assert replies[1]["op"] == "error"
+        assert "unknown op" in replies[1]["error"]
+
+    def test_max_streams_rejection(self):
+        replies = self._run([{"op": "open", "stream": "s1"},
+                             {"op": "open", "stream": "s2"}],
+                            max_streams=1)
+        assert replies[0]["op"] == "ok"
+        assert replies[1]["op"] == "error"
+        assert "max_streams" in replies[1]["error"]
+
+    def test_undecodable_record_drops_stream(self):
+        replies = self._run([
+            {"op": "open", "stream": "s1"},
+            {"op": "record", "stream": "s1",
+             "record": {"kind": "no_such_kind", "time_s": 1.0}},
+            {"op": "close", "stream": "s1"},
+        ])
+        assert replies[0]["op"] == "ok"
+        assert replies[1]["op"] == "error"       # the bad record
+        assert replies[2]["op"] == "error"       # stream already dropped
+        assert "not open" in replies[2]["error"]
+
+    def test_bad_frame_ends_connection(self):
+        async def go():
+            server = StreamIngestServer()
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    *server.address)
+                writer.write(b"not-a-length\n")
+                await writer.drain()
+                reply = await read_frame(reader)
+                assert reply["op"] == "error"
+                assert await read_frame(reader) is None  # connection done
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.stop()
+        asyncio.run(go())
+
+    def test_verdict_roundtrips_as_json(self):
+        trace = _loop_trace(3, 0, exit_after=False)
+        batch = analyze_trace(trace).detection
+        results = asyncio.run(_serve_and_replay({"d": trace}))
+        verdict = results["d"].verdict
+        assert json.loads(json.dumps(verdict)) == verdict
+        assert verdict["kind"] == batch.kind.value
